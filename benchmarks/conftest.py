@@ -1,0 +1,52 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures.  The full
+paper-scale runs are long; the harness therefore exposes a small/large switch
+via the ``REPRO_BENCH_SCALE`` environment variable:
+
+* ``small`` (default) -- minutes for the full suite, preserves the shapes;
+* ``large`` -- closer to the defaults used to produce EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig
+
+
+def bench_scale() -> str:
+    """The requested benchmark scale (``small`` or ``large``)."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", "small").lower()
+    return scale if scale in ("small", "large") else "small"
+
+
+def experiment_config(seed: int = 0) -> ExperimentConfig:
+    """The experiment configuration for the selected scale."""
+    if bench_scale() == "large":
+        return ExperimentConfig(
+            n_inputs=240,
+            n_clusters=12,
+            tuner_generations=8,
+            tuner_population=10,
+            tuning_neighbors=4,
+            max_subsets=128,
+            seed=seed,
+        )
+    return ExperimentConfig(
+        n_inputs=60,
+        n_clusters=6,
+        tuner_generations=3,
+        tuner_population=6,
+        tuning_neighbors=2,
+        max_subsets=24,
+        seed=seed,
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """Session-wide experiment configuration for all benchmark files."""
+    return experiment_config()

@@ -1,0 +1,33 @@
+"""Benchmark: regenerate the paper's in-text ablations.
+
+* Section 3.1: with a small landmark budget, k-means-based landmark selection
+  beats uniformly random landmark selection.
+* Section 4.2: a large fraction of training inputs change cluster when the
+  Level-2 performance-based relabelling is applied (the paper reports 73.4%
+  for its k-means example).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import landmark_selection_ablation, relabel_shift
+from repro.experiments.runner import run_experiment
+
+
+def _run(config):
+    result = run_experiment("sort2", config=config)
+    ablation = landmark_selection_ablation(result, n_landmarks=5, seed=0)
+    return result, ablation
+
+
+def test_landmark_selection_and_relabel_shift(benchmark, bench_config):
+    """Regenerate both ablations on the sort2 test."""
+    result, ablation = benchmark.pedantic(_run, args=(bench_config,), rounds=1, iterations=1)
+    shift = relabel_shift(result)
+    print(
+        f"\n[ablation] kmeans landmarks: {ablation.kmeans_speedup:.2f}x, "
+        f"random landmarks: {ablation.random_speedup:.2f}x "
+        f"(degradation {ablation.degradation:.1%}); "
+        f"level-2 relabel shift: {shift:.1%}"
+    )
+    assert ablation.kmeans_speedup > 0 and ablation.random_speedup > 0
+    assert shift is not None and 0.0 <= shift <= 1.0

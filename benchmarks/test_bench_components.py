@@ -1,0 +1,81 @@
+"""Micro-benchmarks for the heavier individual components.
+
+Not tied to a specific table/figure; these track the cost of the substrate
+pieces (autotuning one landmark, measuring one landmark over an input set,
+training the classifier zoo) so regressions in the reproduction's own
+performance are visible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autotuner import EvolutionaryAutotuner
+from repro.benchmarks_suite import get_benchmark
+from repro.core.level1 import Level1Config, run_level1
+from repro.core.level2 import Level2Config, run_level2
+from repro.ml.decision_tree import DecisionTreeClassifier
+from repro.ml.kmeans import KMeans
+
+
+def test_bench_autotune_one_landmark(benchmark):
+    """Time to autotune one landmark of the sort benchmark."""
+    variant = get_benchmark("sort2")
+    program = variant.benchmark.program
+    inputs = variant.benchmark.generate_inputs(3, "synthetic", seed=0)
+    tuner = EvolutionaryAutotuner(
+        population_size=6, offspring_per_generation=6, max_generations=4, seed=0
+    )
+    result = benchmark.pedantic(tuner.tune, args=(program, inputs[:1]), rounds=1, iterations=1)
+    assert result.best.mean_time > 0
+
+
+def test_bench_level1_pipeline(benchmark):
+    """Time of the full Level-1 pipeline on a small sort workload."""
+    variant = get_benchmark("sort2")
+    program = variant.benchmark.program
+    inputs = variant.benchmark.generate_inputs(24, "synthetic", seed=1)
+    config = Level1Config(n_clusters=4, tuner_generations=2, tuner_population=5, tuning_neighbors=2)
+    result = benchmark.pedantic(run_level1, args=(program, inputs, config), rounds=1, iterations=1)
+    assert result.dataset.n_landmarks >= 1
+
+
+def test_bench_level2_pipeline(benchmark):
+    """Time of the Level-2 classifier zoo on a pre-built Level-1 dataset."""
+    variant = get_benchmark("sort2")
+    program = variant.benchmark.program
+    inputs = variant.benchmark.generate_inputs(24, "synthetic", seed=2)
+    level1 = run_level1(
+        program,
+        inputs,
+        Level1Config(n_clusters=4, tuner_generations=2, tuner_population=5, tuning_neighbors=2),
+    )
+    result = benchmark.pedantic(
+        run_level2,
+        args=(level1.dataset, list(range(12)), list(range(12, 24))),
+        kwargs={"config": Level2Config(max_subsets=24)},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.production is not None
+
+
+def test_bench_kmeans(benchmark):
+    """K-means on a few thousand feature vectors (the Level-1 clustering load)."""
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(2000, 12))
+    result = benchmark(lambda: KMeans(n_clusters=20, random_state=0, n_init=1).fit(X))
+    assert result.k == 20
+
+
+def test_bench_decision_tree(benchmark):
+    """Cost-sensitive decision-tree training at Level-2 scale."""
+    rng = np.random.default_rng(1)
+    X = rng.normal(size=(500, 8))
+    y = (X[:, 0] > 0).astype(int) + 2 * (X[:, 1] > 0).astype(int)
+    cost = np.abs(rng.normal(size=(4, 4)))
+    np.fill_diagonal(cost, 0.0)
+    tree = benchmark(
+        lambda: DecisionTreeClassifier(max_depth=8, cost_matrix=cost).fit(X, y)
+    )
+    assert tree.depth() >= 1

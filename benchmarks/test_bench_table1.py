@@ -1,0 +1,38 @@
+"""Benchmark: regenerate Table 1 (mean speedups over the static oracle).
+
+One benchmark per Table-1 test.  Each run trains the two-level system on the
+configured input budget, evaluates all comparison methods, prints the row the
+paper reports, and asserts the qualitative shape (dynamic oracle >= 1,
+two-level not worse than the one-level method once feature-extraction cost is
+charged).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import run_experiment
+from repro.experiments.table1 import TABLE1_TESTS, row_from_result
+
+
+def _run_row(test_name, config):
+    result = run_experiment(test_name, config=config)
+    return row_from_result(result)
+
+
+@pytest.mark.parametrize("test_name", TABLE1_TESTS)
+def test_table1_row(benchmark, bench_config, test_name):
+    """Regenerate one row of Table 1."""
+    row = benchmark.pedantic(
+        _run_row, args=(test_name, bench_config), rounds=1, iterations=1
+    )
+    print(
+        f"\n[table1:{test_name}] dyn={row.dynamic_oracle:.2f}x "
+        f"two-level={row.two_level_with_extraction:.2f}x "
+        f"(no-extr {row.two_level_no_extraction:.2f}x) "
+        f"one-level={row.one_level_with_extraction:.2f}x "
+        f"(no-extr {row.one_level_no_extraction:.2f}x) "
+        f"one-level-acc={row.one_level_accuracy:.2%}"
+    )
+    assert row.dynamic_oracle >= 1.0 - 1e-6
+    assert row.two_level_with_extraction >= row.one_level_with_extraction * 0.8

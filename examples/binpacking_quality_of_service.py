@@ -1,0 +1,74 @@
+"""Variable accuracy in action: the Bin Packing benchmark.
+
+Bin packing is one of the paper's variable-accuracy benchmarks: every
+heuristic produces *some* packing, but only sufficiently dense packings
+(average bin occupancy >= 0.95) count as accurate, and the programmer demands
+that at least 95% of inputs meet that bar.  This example shows how the
+two-level system balances that quality-of-service contract against speed:
+
+* the one-level baseline (accuracy-oblivious nearest-centroid mapping) often
+  picks fast heuristics that miss the occupancy target;
+* the two-level production classifier only picks a cheap heuristic where the
+  input's features say it is safe to do so.
+
+Run with::
+
+    python examples/binpacking_quality_of_service.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.benchmarks_suite import get_benchmark
+from repro.core import InputAwareLearning, Level1Config, Level2Config
+from repro.core.baselines import DynamicOracle, OneLevelLearning, StaticOracle
+
+
+def main() -> None:
+    variant = get_benchmark("binpacking")
+    benchmark = variant.benchmark
+    program = benchmark.program
+    threshold = program.accuracy_requirement.accuracy_threshold
+
+    inputs = benchmark.generate_inputs(160, variant.variant, seed=1)
+    learner = InputAwareLearning(
+        level1_config=Level1Config(n_clusters=10, tuner_generations=5, tuner_population=8),
+        level2_config=Level2Config(max_subsets=64),
+        seed=1,
+    )
+    training = learner.fit(program, inputs)
+    dataset = training.dataset
+    test_rows = training.level2.test_rows
+
+    static = StaticOracle().fit(dataset, training.level2.train_rows).evaluate(dataset, test_rows)
+    dynamic = DynamicOracle().evaluate(dataset, test_rows)
+    one_level = OneLevelLearning(training.level1).evaluate(dataset, test_rows)
+    production = training.level2.production.classifier
+    predictions = production.predict_rows(dataset, test_rows)
+    two_level_times = dataset.times[test_rows, predictions.labels] + predictions.extraction_costs
+    two_level_accuracy = dataset.accuracies[test_rows, predictions.labels]
+
+    def report(name, times, accuracies):
+        speedup = float(np.mean(static.times / np.maximum(times, 1e-12)))
+        satisfaction = float(np.mean(accuracies >= threshold))
+        print(f"  {name:<22s} speedup {speedup:5.2f}x   occupancy target met on {satisfaction:6.1%} of inputs")
+
+    print(f"accuracy contract: occupancy >= {threshold} on >= 95% of inputs")
+    print(f"production classifier: {production.name}\n")
+    report("static oracle", static.times, static.accuracies)
+    report("dynamic oracle", dynamic.times, dynamic.accuracies)
+    report("two-level (this paper)", two_level_times, two_level_accuracy)
+    report("one-level baseline", one_level.times, one_level.accuracies)
+
+    print("\nwhich heuristics the deployed system actually picks:")
+    chosen = {}
+    for row, label in zip(test_rows, predictions.labels):
+        name = dataset.landmarks[label]["heuristic"]
+        chosen[name] = chosen.get(name, 0) + 1
+    for name, count in sorted(chosen.items(), key=lambda item: -item[1]):
+        print(f"  {name:<28s} {count:4d} inputs")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Quickstart: input-aware autotuning of the Sort benchmark.
+
+This walks through the full workflow of the paper on a small scale:
+
+1. pick a benchmark (Sort with the synthetic input population, i.e. the
+   paper's ``sort2`` test);
+2. train the two-level input-aware learning system, which clusters the
+   training inputs, autotunes a landmark configuration per cluster, measures
+   every landmark on every input, and learns a production classifier;
+3. deploy the result: for each new input, the classifier probes a few cheap
+   input features and selects the input-optimized program to run.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.benchmarks_suite import get_benchmark
+from repro.core import InputAwareLearning, Level1Config, Level2Config
+
+
+def main() -> None:
+    variant = get_benchmark("sort2")
+    benchmark = variant.benchmark
+
+    print("== Training ==")
+    training_inputs = benchmark.generate_inputs(120, variant.variant, seed=0)
+    learner = InputAwareLearning(
+        level1_config=Level1Config(n_clusters=8, tuner_generations=5, tuner_population=8),
+        level2_config=Level2Config(max_subsets=64),
+        seed=0,
+    )
+    training = learner.fit(benchmark.program, training_inputs)
+
+    print(f"landmark configurations: {len(training.landmarks)}")
+    for index, landmark in enumerate(training.landmarks):
+        selector = landmark["selector"]
+        print(f"  landmark {index}: {selector.describe()} "
+              f"(pivot={landmark['quick_pivot']}, ways={landmark['merge_ways']})")
+    production = training.level2.production
+    print(f"production classifier: {production.classifier.name}")
+    print(f"  mean cost on held-out inputs: {production.performance_cost:,.0f} work units")
+
+    print("\n== Deployment ==")
+    fresh_inputs = benchmark.generate_inputs(6, variant.variant, seed=123)
+    for data in fresh_inputs:
+        outcome = training.deployed.run(data)
+        selector = outcome.configuration["selector"]
+        assert np.all(np.diff(outcome.result.output) >= 0), "output must be sorted"
+        print(
+            f"  n={len(data):5d}  selected landmark {outcome.landmark_index} "
+            f"[{selector.describe()}]  cost={outcome.total_time:,.0f} "
+            f"(features {outcome.feature_extraction_cost:,.0f})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Reproduce Figures 6, 7, and 8 of the paper as plain-text plots.
+
+For the selected tests this trains the two-level system once, then prints:
+
+* Figure 6 -- the sorted per-input speedup distribution (ASCII sparkline plus
+  summary statistics);
+* Figure 7 -- the theoretical diminishing-returns model curves;
+* Figure 8 -- the measured speedup as a function of the number of landmark
+  configurations (median and quartiles over random subsets).
+
+Run with::
+
+    python examples/reproduce_figures.py --tests sort2 binpacking
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.experiments.figure6 import distribution_from_result
+from repro.experiments.figure7 import model_figure7a, model_figure7b
+from repro.experiments.figure8 import landmark_sweep
+from repro.experiments.reporting import ascii_sparkline, format_series
+from repro.experiments.runner import ExperimentConfig, run_experiment
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tests", nargs="*", default=["sort2", "binpacking"])
+    parser.add_argument("--inputs", type=int, default=120)
+    args = parser.parse_args()
+
+    config = ExperimentConfig(
+        n_inputs=args.inputs, n_clusters=10, tuner_generations=6,
+        tuner_population=8, tuning_neighbors=3, max_subsets=64,
+    )
+
+    print("== Figure 7: theoretical model ==")
+    for k, curve in sorted(model_figure7a(config_counts=(2, 5, 9)).items()):
+        print(f"  loss vs region size, {k} configs : {ascii_sparkline(curve.y.tolist(), width=50)}")
+    curve = model_figure7b(range(10, 101, 10))
+    print("\n  fraction of full speedup vs landmarks:")
+    print("  " + format_series(curve.x.tolist(), np.round(curve.y, 3).tolist(),
+                               "landmarks", "fraction").replace("\n", "\n  "))
+
+    for test_name in args.tests:
+        print(f"\n== {test_name} ==")
+        result = run_experiment(test_name, config=config)
+
+        panel = distribution_from_result(result)
+        print("  Figure 6 (sorted per-input speedups over the static oracle):")
+        print(f"    {ascii_sparkline(panel.speedups.tolist(), width=60)}")
+        print(
+            f"    mean {panel.mean:.2f}x, max {panel.maximum:.2f}x, "
+            f"{panel.tail_fraction(2.0):.0%} of inputs above 2x"
+        )
+
+        total = result.training.dataset.n_landmarks
+        counts = sorted({1, 2, max(3, total // 2), total})
+        points = landmark_sweep(result, landmark_counts=counts, n_subsets=20)
+        print("  Figure 8 (speedup vs number of landmarks, median [q1, q3]):")
+        for point in points:
+            print(
+                f"    k={point.n_landmarks:3d}: {point.median:5.2f}x "
+                f"[{point.first_quartile:5.2f}x, {point.third_quartile:5.2f}x]"
+            )
+
+
+if __name__ == "__main__":
+    main()

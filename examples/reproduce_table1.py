@@ -1,0 +1,59 @@
+"""Reproduce Table 1 and the headline numbers of the paper.
+
+Runs all eight tests (sort1, sort2, clustering1, clustering2, binpacking,
+svd, poisson2d, helmholtz3d), trains the two-level system on each, and prints
+the Table-1 rows: mean speedup over the static oracle for the dynamic oracle,
+the two-level method (with and without feature-extraction time), the
+one-level baseline (with and without), and the one-level accuracy column.
+
+Run with::
+
+    python examples/reproduce_table1.py             # moderate scale, ~5-10 min
+    python examples/reproduce_table1.py --quick     # small scale, ~1 min
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.experiments.runner import ExperimentConfig
+from repro.experiments.table1 import (
+    TABLE1_TESTS,
+    format_table1,
+    run_table1,
+    summarize_headline,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="use a small input budget")
+    parser.add_argument("--tests", nargs="*", default=list(TABLE1_TESTS))
+    args = parser.parse_args()
+
+    if args.quick:
+        config = ExperimentConfig(
+            n_inputs=60, n_clusters=6, tuner_generations=3, tuner_population=6,
+            tuning_neighbors=2, max_subsets=32,
+        )
+    else:
+        config = ExperimentConfig(
+            n_inputs=240, n_clusters=12, tuner_generations=8, tuner_population=10,
+            tuning_neighbors=4, max_subsets=128,
+        )
+
+    start = time.time()
+    rows = run_table1(tests=args.tests, config=config, progress=print)
+    print()
+    print(format_table1(rows))
+    headline = summarize_headline(rows)
+    print()
+    print(f"best two-level speedup over static oracle : {headline['max_two_level_speedup']:.2f}x")
+    print(f"worst one-level slowdown (w/ features)    : {headline['max_one_level_slowdown']:.2f}x")
+    print(f"largest two-level / one-level ratio       : {headline['max_two_over_one_level']:.2f}x")
+    print(f"\ntotal wall-clock: {time.time() - start:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

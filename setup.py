@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline build environment has no ``wheel`` package, so PEP-660 editable
+installs (which build a wheel) fail; keeping a ``setup.py`` and omitting the
+``[build-system]`` table lets ``pip install -e .`` use the legacy
+``setup.py develop`` path.  All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,68 @@
+"""Mutation and crossover operators over configurations.
+
+The evolutionary autotuner manipulates whole :class:`Configuration` objects.
+Mutation perturbs a random subset of parameters using each parameter's own
+``mutate`` method (integers move within their range, selectors restructure
+their rule lists, categoricals re-sample, ...).  Crossover performs uniform
+parameter exchange between two parents.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from repro.lang.config import Configuration, ConfigurationSpace
+
+
+def mutate_configuration(
+    config: Configuration,
+    space: ConfigurationSpace,
+    rng: random.Random,
+    mutation_rate: float = 0.35,
+    strength: float = 0.4,
+) -> Configuration:
+    """Return a mutated copy of ``config``.
+
+    Each parameter is independently mutated with probability
+    ``mutation_rate``; at least one parameter is always mutated so the
+    offspring differs from its parent whenever the space allows it.
+
+    Args:
+        config: parent configuration.
+        space: the configuration space (supplies per-parameter mutators).
+        rng: random source.
+        mutation_rate: per-parameter mutation probability.
+        strength: mutation strength forwarded to each parameter.
+    """
+    names = space.names()
+    if not names:
+        return config
+    values = config.as_dict()
+    mutated_any = False
+    for name in names:
+        if rng.random() < mutation_rate:
+            values[name] = space.get(name).mutate(values[name], rng, strength)
+            mutated_any = True
+    if not mutated_any:
+        name = rng.choice(names)
+        values[name] = space.get(name).mutate(values[name], rng, strength)
+    return Configuration(values, space=space)
+
+
+def crossover_configurations(
+    first: Configuration,
+    second: Configuration,
+    space: ConfigurationSpace,
+    rng: random.Random,
+) -> Tuple[Configuration, Configuration]:
+    """Uniform crossover: each parameter is swapped between parents with p=0.5."""
+    values_a = first.as_dict()
+    values_b = second.as_dict()
+    for name in space.names():
+        if rng.random() < 0.5:
+            values_a[name], values_b[name] = values_b[name], values_a[name]
+    return (
+        Configuration(values_a, space=space),
+        Configuration(values_b, space=space),
+    )

@@ -1,0 +1,108 @@
+"""The autotuner's dual objective: meet accuracy, then minimize time.
+
+PetaBricks variable-accuracy autotuning considers "a two dimensional
+objective space, where its first objective is to meet the accuracy target
+(with a given level of confidence) and the second objective is to maximize
+performance".  This module encodes that ordering as a total order over
+candidate evaluations so the evolutionary search can compare individuals
+directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+from repro.lang.accuracy import AccuracyRequirement
+from repro.lang.config import Configuration
+from repro.lang.program import PetaBricksProgram
+
+
+@dataclass(frozen=True)
+class CandidateEvaluation:
+    """Measured behaviour of one configuration on the tuning input(s).
+
+    Attributes:
+        config: the evaluated configuration.
+        mean_time: mean work-unit cost across the tuning inputs.
+        accuracies: per-input accuracy scores.
+        satisfaction_rate: fraction of tuning inputs meeting the accuracy
+            threshold.
+        meets_accuracy: whether the satisfaction rate reaches the
+            requirement's satisfaction threshold.
+    """
+
+    config: Configuration
+    mean_time: float
+    accuracies: Tuple[float, ...]
+    satisfaction_rate: float
+    meets_accuracy: bool
+
+    def sort_key(self) -> Tuple[int, float, float]:
+        """Total-order key: accuracy feasibility first, then time.
+
+        Infeasible candidates are ordered among themselves by how badly they
+        miss the target (higher satisfaction first) and then by time, which
+        gives the evolutionary search a gradient toward feasibility.
+        """
+        if self.meets_accuracy:
+            return (0, self.mean_time, 0.0)
+        return (1, -self.satisfaction_rate, self.mean_time)
+
+
+class TuningObjective:
+    """Evaluates configurations for the autotuner.
+
+    Args:
+        program: the program under tuning.
+        tuning_inputs: the inputs used to evaluate candidates.  Level 1 uses
+            the cluster centroid (a single synthetic input); passing several
+            inputs gives a more robust but slower evaluation.
+        requirement: accuracy requirement; defaults to the program's own.
+    """
+
+    def __init__(
+        self,
+        program: PetaBricksProgram,
+        tuning_inputs: Sequence[Any],
+        requirement: Optional[AccuracyRequirement] = None,
+    ) -> None:
+        if not tuning_inputs:
+            raise ValueError("need at least one tuning input")
+        self.program = program
+        self.tuning_inputs = list(tuning_inputs)
+        self.requirement = requirement or program.accuracy_requirement
+        self.evaluations_performed = 0
+
+    def evaluate(self, config: Configuration) -> CandidateEvaluation:
+        """Run the program with ``config`` on every tuning input."""
+        times: List[float] = []
+        accuracies: List[float] = []
+        for tuning_input in self.tuning_inputs:
+            result = self.program.run(config, tuning_input)
+            times.append(result.time)
+            accuracies.append(result.accuracy)
+            self.evaluations_performed += 1
+        mean_time = sum(times) / len(times)
+        satisfaction = self.requirement.satisfaction_rate(accuracies)
+        return CandidateEvaluation(
+            config=config,
+            mean_time=mean_time,
+            accuracies=tuple(accuracies),
+            satisfaction_rate=satisfaction,
+            meets_accuracy=satisfaction >= self.requirement.satisfaction_threshold
+            if self.requirement.enabled
+            else True,
+        )
+
+    @staticmethod
+    def best(evaluations: Iterable[CandidateEvaluation]) -> CandidateEvaluation:
+        """Return the best evaluation under the dual objective.
+
+        Raises:
+            ValueError: if ``evaluations`` is empty.
+        """
+        candidates = list(evaluations)
+        if not candidates:
+            raise ValueError("no evaluations to compare")
+        return min(candidates, key=lambda e: e.sort_key())

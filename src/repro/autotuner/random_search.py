@@ -1,0 +1,64 @@
+"""Random-search tuner.
+
+A deliberately simple baseline used in ablation experiments (how much does
+the evolutionary search buy over uniform sampling of the configuration
+space?) and as a cheap fallback when a benchmark's space is small.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Optional, Sequence
+
+from repro.autotuner.evolution import TuningResult
+from repro.autotuner.objectives import TuningObjective
+from repro.lang.config import Configuration
+from repro.lang.program import PetaBricksProgram
+
+
+class RandomSearchTuner:
+    """Uniform random sampling of the configuration space.
+
+    Args:
+        n_samples: number of random configurations to evaluate (the default
+            configuration is always evaluated in addition).
+        seed: RNG seed.
+    """
+
+    def __init__(self, n_samples: int = 60, seed: Optional[int] = None) -> None:
+        if n_samples < 1:
+            raise ValueError("n_samples must be >= 1")
+        self.n_samples = n_samples
+        self.seed = seed
+
+    def tune(
+        self,
+        program: PetaBricksProgram,
+        tuning_inputs: Sequence[Any],
+        initial_configs: Optional[Sequence[Configuration]] = None,
+    ) -> TuningResult:
+        """Evaluate ``n_samples`` random configurations and return the best."""
+        rng = random.Random(self.seed)
+        objective = TuningObjective(program, tuning_inputs)
+
+        candidates = [program.default_configuration()]
+        if initial_configs:
+            candidates.extend(initial_configs)
+        candidates.extend(
+            program.config_space.sample(rng) for _ in range(self.n_samples)
+        )
+
+        evaluations = [objective.evaluate(config) for config in candidates]
+        best = TuningObjective.best(evaluations)
+        history = []
+        incumbent = None
+        for evaluation in evaluations:
+            if incumbent is None or evaluation.sort_key() < incumbent.sort_key():
+                incumbent = evaluation
+            history.append(incumbent.mean_time)
+        return TuningResult(
+            best=best,
+            history=history,
+            evaluations=objective.evaluations_performed,
+            generations=1,
+        )

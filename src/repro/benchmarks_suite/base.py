@@ -1,0 +1,171 @@
+"""Benchmark interface shared by all six reproduced benchmarks.
+
+A :class:`Benchmark` knows how to build its
+:class:`~repro.lang.program.PetaBricksProgram` (configuration space, run
+function, feature extractors, accuracy requirement) and how to generate
+input sets (synthetic and, where applicable, "real-world-like" variants that
+stand in for the paper's CCR / UCI datasets).
+
+The learning framework and the experiment harness only use this interface,
+so adding a seventh benchmark requires no change outside its subpackage.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.lang.program import PetaBricksProgram
+
+
+@dataclass(frozen=True)
+class InputGenerator:
+    """A named source of benchmark inputs.
+
+    Attributes:
+        name: generator name (e.g. ``"synthetic"``, ``"real_world"``).
+        description: what input population this generator mimics.
+        func: callable ``func(n, seed) -> list`` producing ``n`` inputs.
+    """
+
+    name: str
+    description: str
+    func: Callable[[int, int], List[Any]]
+
+    def generate(self, n: int, seed: int = 0) -> List[Any]:
+        """Produce ``n`` inputs deterministically from ``seed``."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        return self.func(n, seed)
+
+
+class Benchmark(abc.ABC):
+    """Abstract benchmark: a tunable program plus its input populations."""
+
+    #: Short benchmark name, e.g. ``"sort"``; subclasses override.
+    name: str = "benchmark"
+
+    def __init__(self) -> None:
+        self._program: Optional[PetaBricksProgram] = None
+
+    # -- program --------------------------------------------------------
+
+    @abc.abstractmethod
+    def build_program(self) -> PetaBricksProgram:
+        """Construct the benchmark's tunable program (called once, cached)."""
+
+    @property
+    def program(self) -> PetaBricksProgram:
+        """The benchmark's program, built lazily and cached."""
+        if self._program is None:
+            self._program = self.build_program()
+        return self._program
+
+    # -- inputs ---------------------------------------------------------
+
+    @abc.abstractmethod
+    def input_generators(self) -> Dict[str, InputGenerator]:
+        """Return the benchmark's named input generators."""
+
+    def generate_inputs(
+        self, n: int, variant: str = "synthetic", seed: int = 0
+    ) -> List[Any]:
+        """Generate ``n`` inputs from the named generator variant.
+
+        Raises:
+            KeyError: if ``variant`` is not one of :meth:`input_generators`.
+        """
+        generators = self.input_generators()
+        if variant not in generators:
+            raise KeyError(
+                f"{self.name}: unknown input variant {variant!r}; "
+                f"available: {sorted(generators)}"
+            )
+        return generators[variant].generate(n, seed=seed)
+
+    def default_variant(self) -> str:
+        """The generator used when an experiment does not name one."""
+        return "synthetic"
+
+    # -- misc -----------------------------------------------------------
+
+    def rng(self, seed: int) -> random.Random:
+        """A benchmark-scoped random source (keeps seeds independent)."""
+        return random.Random((hash(self.name) & 0xFFFF) ^ seed)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+#: Registry of benchmark factories keyed by the test names used in Table 1.
+#: ``sort1``/``sort2`` and ``clustering1``/``clustering2`` share a benchmark
+#: class but use different input variants, mirroring the paper.
+_REGISTRY: Dict[str, Callable[[], "BenchmarkVariant"]] = {}
+
+
+@dataclass(frozen=True)
+class BenchmarkVariant:
+    """A (benchmark, input-variant) pair: one row of Table 1."""
+
+    benchmark: Benchmark
+    variant: str
+
+    @property
+    def name(self) -> str:
+        return f"{self.benchmark.name}/{self.variant}"
+
+
+def register(test_name: str, factory: Callable[[], BenchmarkVariant]) -> None:
+    """Register a Table-1 test name (idempotent for identical factories)."""
+    _REGISTRY[test_name] = factory
+
+
+def registry() -> Dict[str, Callable[[], BenchmarkVariant]]:
+    """All registered Table-1 test names and their factories."""
+    _ensure_registered()
+    return dict(_REGISTRY)
+
+
+def get_benchmark(test_name: str) -> BenchmarkVariant:
+    """Instantiate the benchmark variant for a Table-1 test name.
+
+    Raises:
+        KeyError: if the name is unknown.
+    """
+    _ensure_registered()
+    if test_name not in _REGISTRY:
+        raise KeyError(
+            f"unknown benchmark test {test_name!r}; available: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[test_name]()
+
+
+def _ensure_registered() -> None:
+    """Populate the registry on first use (avoids import cycles)."""
+    if _REGISTRY:
+        return
+    from repro.benchmarks_suite.binpacking.benchmark import BinPackingBenchmark
+    from repro.benchmarks_suite.clustering.benchmark import ClusteringBenchmark
+    from repro.benchmarks_suite.helmholtz3d.benchmark import Helmholtz3DBenchmark
+    from repro.benchmarks_suite.poisson2d.benchmark import Poisson2DBenchmark
+    from repro.benchmarks_suite.sort.benchmark import SortBenchmark
+    from repro.benchmarks_suite.svd.benchmark import SVDBenchmark
+
+    register("sort1", lambda: BenchmarkVariant(SortBenchmark(), "real_world"))
+    register("sort2", lambda: BenchmarkVariant(SortBenchmark(), "synthetic"))
+    register(
+        "clustering1", lambda: BenchmarkVariant(ClusteringBenchmark(), "real_world")
+    )
+    register(
+        "clustering2", lambda: BenchmarkVariant(ClusteringBenchmark(), "synthetic")
+    )
+    register(
+        "binpacking", lambda: BenchmarkVariant(BinPackingBenchmark(), "synthetic")
+    )
+    register("svd", lambda: BenchmarkVariant(SVDBenchmark(), "synthetic"))
+    register("poisson2d", lambda: BenchmarkVariant(Poisson2DBenchmark(), "synthetic"))
+    register(
+        "helmholtz3d", lambda: BenchmarkVariant(Helmholtz3DBenchmark(), "synthetic")
+    )

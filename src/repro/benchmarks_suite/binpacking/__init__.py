@@ -1,0 +1,12 @@
+"""The Bin Packing benchmark (paper Section 4.1, "Bin Packing").
+
+Items with sizes in (0, 1] must be packed into unit-capacity bins.  The
+benchmark chooses among 13 classical approximation heuristics; accuracy is
+the average occupied fraction of the bins used (threshold 0.95), so sloppy
+heuristics fail the quality-of-service requirement on hard inputs while the
+"-Decreasing" variants pay an extra sort to be safe.
+"""
+
+from repro.benchmarks_suite.binpacking.benchmark import BinPackingBenchmark
+
+__all__ = ["BinPackingBenchmark"]

@@ -1,0 +1,12 @@
+"""The Clustering benchmark (paper Section 4.1, "Clustering").
+
+Assigns 2-D points to clusters with a k-means variant whose initial
+conditions (random / prefix / centerplus), cluster count ``k``, and iteration
+count are all set by the autotuner.  Accuracy is the ratio of the canonical
+algorithm's point-to-centre distances to the tuned algorithm's distances,
+with a 0.8 accuracy threshold.
+"""
+
+from repro.benchmarks_suite.clustering.benchmark import ClusteringBenchmark, ClusteringInput
+
+__all__ = ["ClusteringBenchmark", "ClusteringInput"]

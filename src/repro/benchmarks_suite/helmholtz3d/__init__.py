@@ -1,0 +1,15 @@
+"""The 3D Helmholtz benchmark (paper Section 4.1, "Helmholtz 3D").
+
+Solves the variable-coefficient 3-D Helmholtz equation
+``(-laplace + c(x)) u = f`` with homogeneous Dirichlet boundaries.  The
+algorithmic choices mirror Poisson 2D -- multigrid with autotuned cycle
+shapes, iterative smoothers, and a direct (sparse LU) solver -- and the
+accuracy metric and threshold (7) are the same.
+"""
+
+from repro.benchmarks_suite.helmholtz3d.benchmark import (
+    Helmholtz3DBenchmark,
+    HelmholtzInput,
+)
+
+__all__ = ["Helmholtz3DBenchmark", "HelmholtzInput"]

@@ -1,0 +1,14 @@
+"""The 2D Poisson benchmark (paper Section 4.1, "Poisson 2D").
+
+Solves the 2-D Poisson equation ``-laplace(u) = f`` with homogeneous
+Dirichlet boundary conditions.  The algorithmic choices are multigrid (with
+autotuned cycle shape and smoothing counts), iterative smoothers (Jacobi,
+SOR), and a direct fast-Poisson solver; accuracy is the log of the ratio
+between the RMS error of the zero initial guess and the RMS error of the
+produced solution, with the paper's threshold of 7 (i.e. a 10^7 error
+reduction).
+"""
+
+from repro.benchmarks_suite.poisson2d.benchmark import Poisson2DBenchmark, PoissonInput
+
+__all__ = ["Poisson2DBenchmark", "PoissonInput"]

@@ -1,0 +1,13 @@
+"""The Sort benchmark (paper Section 4.1, "Sort").
+
+A list of doubles is sorted by a polyalgorithm assembled from InsertionSort,
+QuickSort, MergeSort (with a tunable number of ways), RadixSort, and
+BitonicSort.  Sort is the paper's only fixed-accuracy benchmark; input
+sensitivity comes from algorithms having fast and slow input classes
+(QuickSort has pathological cases, InsertionSort excels on mostly-sorted
+lists, RadixSort likes narrow key ranges).
+"""
+
+from repro.benchmarks_suite.sort.benchmark import SortBenchmark
+
+__all__ = ["SortBenchmark"]

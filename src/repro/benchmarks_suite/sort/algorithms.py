@@ -1,0 +1,273 @@
+"""Sorting algorithms for the Sort benchmark.
+
+Each algorithm really sorts (every function returns a correctly sorted copy
+of its input) and charges its abstract operation count to the ambient cost
+counter, so "execution time" reflects the algorithm's true asymptotic and
+input-dependent behaviour:
+
+* **insertion sort** -- cost ``n + #inversions-ish``: linear on almost-sorted
+  data, quadratic on reversed data.  Implemented as binary-insertion sort
+  (the comparisons are binary-search comparisons, the dominant cost is the
+  element movement), which keeps wall-clock manageable while charging the
+  classical movement cost.
+* **quick sort** -- three-way partitioning with a configurable pivot rule.
+  The ``first`` pivot rule degrades on already-sorted data (partitions shrink
+  by a constant), the ``random``/``median3`` rules behave like classical
+  introsort.
+* **merge sort** -- tunable number of ways; cost ``n * log_k(n)`` merges.
+* **radix sort** -- LSD radix over a quantized key space; cost
+  ``n * #digits``, so narrow-range/duplicate-heavy inputs are cheap.
+* **bitonic sort** -- full compare-exchange network; cost
+  ``n * log^2(n)``, independent of the data.
+
+The recursive algorithms do not recurse into themselves directly: they call
+back into the polyalgorithm dispatcher supplied by the benchmark driver, so a
+selector such as "MergeSort above 1420, QuickSort above 600, InsertionSort
+below" (the paper's Figure 2) is exercised exactly as described.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.lang.cost import charge
+
+#: The dispatcher signature: sort a (sub)array by consulting the selector.
+Dispatcher = Callable[[np.ndarray, int], np.ndarray]
+
+#: Depth guard: beyond this recursion depth the dispatcher forces a terminal
+#: algorithm.  This mirrors introsort-style guards in production sorts and
+#: keeps pathological quicksort configurations from overflowing the stack,
+#: while still charging them a heavy cost.
+MAX_RECURSION_DEPTH = 64
+
+
+def insertion_sort(data: np.ndarray) -> np.ndarray:
+    """Insertion sort with the classical linear-scan cost profile.
+
+    The implementation locates each insertion point with a vectorized search
+    (so wall-clock stays reasonable) but charges the cost of the textbook
+    algorithm: one comparison per element scanned while walking left from the
+    end of the sorted prefix plus one move per shifted element.  Total cost is
+    ``Theta(n + #inversions)`` -- essentially linear on almost-sorted inputs
+    and quadratic on adversarial ones, exactly the profile the paper exploits.
+    """
+    result = np.empty_like(data)
+    count = len(data)
+    moves = 0.0
+    comparisons = 0.0
+    for i in range(count):
+        value = data[i]
+        position = int(np.searchsorted(result[:i], value, side="right"))
+        shift = i - position
+        comparisons += shift + 1
+        if shift > 0:
+            result[position + 1 : i + 1] = result[position:i]
+            moves += shift
+        result[position] = value
+        moves += 1
+    charge(comparisons, "compare")
+    charge(moves, "move")
+    return result
+
+
+def quick_sort(
+    data: np.ndarray,
+    dispatch: Dispatcher,
+    depth: int,
+    pivot_rule: str = "first",
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Three-way-partition quicksort that recurses through the dispatcher.
+
+    Args:
+        data: the (sub)array to sort.
+        dispatch: the polyalgorithm dispatcher; sub-partitions are handed
+            back to it so the selector decides how they are sorted.
+        depth: current recursion depth (forwarded to the dispatcher).
+        pivot_rule: ``"first"`` (classical, pathological on sorted data),
+            ``"median3"`` or ``"random"``.
+        rng: random generator used by the ``"random"`` pivot rule.
+    """
+    count = len(data)
+    if count <= 1:
+        return data.copy()
+
+    pivot = _choose_pivot(data, pivot_rule, rng)
+    charge(count, "compare")  # one pass to partition
+    less = data[data < pivot]
+    equal = data[data == pivot]
+    greater = data[data > pivot]
+    charge(count, "move")
+
+    sorted_less = dispatch(less, depth + 1)
+    sorted_greater = dispatch(greater, depth + 1)
+    charge(count, "move")  # concatenation writes every element once
+    return np.concatenate([sorted_less, equal, sorted_greater])
+
+
+def _choose_pivot(
+    data: np.ndarray, pivot_rule: str, rng: Optional[np.random.Generator]
+) -> float:
+    if pivot_rule == "first":
+        return float(data[0])
+    if pivot_rule == "median3":
+        candidates = [data[0], data[len(data) // 2], data[-1]]
+        charge(3, "compare")
+        return float(np.median(candidates))
+    if pivot_rule == "random":
+        generator = rng if rng is not None else np.random.default_rng(0)
+        return float(data[int(generator.integers(len(data)))])
+    raise ValueError(f"unknown pivot rule {pivot_rule!r}")
+
+
+def merge_sort(
+    data: np.ndarray,
+    dispatch: Dispatcher,
+    depth: int,
+    ways: int = 2,
+) -> np.ndarray:
+    """K-way merge sort that recurses through the dispatcher.
+
+    The input is split into ``ways`` nearly equal chunks, each chunk is
+    sorted by the dispatcher (so smaller chunks may fall to quicksort or
+    insertion sort, per the selector), and the sorted chunks are merged
+    pairwise.  Each merge of ``m`` elements charges ``m`` comparisons and
+    ``m`` moves.
+    """
+    count = len(data)
+    if count <= 1:
+        return data.copy()
+    ways = max(2, min(int(ways), count))
+
+    boundaries = np.linspace(0, count, ways + 1, dtype=int)
+    chunks = [
+        dispatch(data[start:end], depth + 1)
+        for start, end in zip(boundaries[:-1], boundaries[1:])
+        if end > start
+    ]
+
+    while len(chunks) > 1:
+        merged = []
+        for i in range(0, len(chunks) - 1, 2):
+            merged.append(_merge_two(chunks[i], chunks[i + 1]))
+        if len(chunks) % 2 == 1:
+            merged.append(chunks[-1])
+        chunks = merged
+    return chunks[0]
+
+
+def _merge_two(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    """Merge two sorted arrays (vectorized textbook merge)."""
+    total = len(left) + len(right)
+    if len(left) == 0:
+        return right.copy()
+    if len(right) == 0:
+        return left.copy()
+    charge(total, "compare")
+    charge(total, "move")
+    result = np.empty(total, dtype=left.dtype)
+    # Destination positions follow from counting, for each element, how many
+    # elements of the other run precede it.
+    left_positions = np.arange(len(left)) + np.searchsorted(right, left, side="left")
+    right_positions = np.arange(len(right)) + np.searchsorted(left, right, side="right")
+    result[left_positions] = left
+    result[right_positions] = right
+    return result
+
+
+#: Quantization grid used to derive radix keys from floating-point values.
+RADIX_GRID_BITS = 16
+
+
+def radix_sort(data: np.ndarray, bits_per_pass: int = 8) -> np.ndarray:
+    """LSD radix sort on value-quantized keys, with an insertion cleanup pass.
+
+    Keys are obtained by quantizing the values onto a 2^16 grid spanning the
+    input's range; only as many radix passes as the *occupied* key bits
+    require are run, so narrow-range and duplicate-heavy inputs (few distinct
+    quantized keys) are sorted in one or two cheap passes while wide random
+    data needs the full complement.  Each pass charges a scatter over the
+    data plus the histogram of its digit space; distinct values that collide
+    on the grid are put in order by a final insertion-style cleanup pass
+    whose cost is charged through :func:`insertion_sort`'s accounting.
+    """
+    count = len(data)
+    if count <= 1:
+        return data.copy()
+    bits_per_pass = max(1, min(int(bits_per_pass), RADIX_GRID_BITS))
+
+    low = float(np.min(data))
+    high = float(np.max(data))
+    charge(2.0 * count, "quantize")
+    if high <= low:
+        return data.copy()
+    grid = (1 << RADIX_GRID_BITS) - 1
+    quantized = ((data - low) / (high - low) * grid).astype(np.int64)
+    # Dictionary-encode the quantized values so the radix passes only need to
+    # cover the bits of the *occupied* key space (one hashing pass, charged
+    # linearly); duplicate-heavy and narrow-range inputs therefore need fewer
+    # passes, which is the input-sensitive behaviour the benchmark exploits.
+    distinct_keys, keys = np.unique(quantized, return_inverse=True)
+    charge(2.0 * count, "dictionary")
+    key_bits = max(1, int(math.ceil(math.log2(max(len(distinct_keys), 2)))))
+    passes = max(1, int(math.ceil(key_bits / bits_per_pass)))
+
+    indices = np.arange(count)
+    mask = (1 << bits_per_pass) - 1
+    for pass_index in range(passes):
+        digits = (keys >> (pass_index * bits_per_pass)) & mask
+        stable_order = np.argsort(digits, kind="stable")
+        keys = keys[stable_order]
+        indices = indices[stable_order]
+        charge(2.0 * count + float(1 << bits_per_pass), "bucket")
+    nearly_sorted = data[indices]
+    # Values that share a quantized key are still unordered among themselves;
+    # a linear-scan insertion pass fixes them at (charged) cost proportional
+    # to the remaining disorder, which is tiny for well-spread data.
+    return insertion_sort(nearly_sorted)
+
+
+def bitonic_sort(data: np.ndarray) -> np.ndarray:
+    """Bitonic sorting network on the next power-of-two size.
+
+    Charges the full ``n/2 * log^2(n)`` compare-exchange cost of the network
+    (padding with +inf sentinels), making it the most expensive choice for
+    large inputs but competitive for tiny ones -- matching its role in the
+    paper's selector spaces.
+    """
+    count = len(data)
+    if count <= 1:
+        return data.copy()
+    size = 1 << int(math.ceil(math.log2(count)))
+    padded = np.full(size, np.inf, dtype=float)
+    padded[:count] = data
+
+    stages = int(math.log2(size))
+    for stage in range(1, stages + 1):
+        for substage in range(stage, 0, -1):
+            distance = 1 << (substage - 1)
+            indices = np.arange(size)
+            partners = indices ^ distance
+            active = partners > indices
+            ascending = ((indices >> stage) & 1) == 0
+            left = indices[active]
+            right = partners[active]
+            keep_ascending = ascending[active]
+            a = padded[left]
+            b = padded[right]
+            swap = np.where(keep_ascending, a > b, a < b)
+            new_a = np.where(swap, b, a)
+            new_b = np.where(swap, a, b)
+            padded[left] = new_a
+            padded[right] = new_b
+            charge(size / 2, "compare_exchange")
+    return padded[:count]
+
+
+def is_sorted(data: np.ndarray) -> bool:
+    """Check a sort output (used by tests and the benchmark's sanity layer)."""
+    return bool(np.all(data[:-1] <= data[1:])) if len(data) > 1 else True

@@ -1,0 +1,12 @@
+"""The Singular Value Decomposition benchmark (paper Section 4.1, "SVD").
+
+Approximates a matrix by a rank-k truncated SVD.  The algorithmic choices are
+the number of singular values retained and the technique used to find them
+(exact dense SVD, subspace iteration, or power-iteration deflation); accuracy
+is the log of the ratio between the RMS error of the zero-matrix initial
+guess and the RMS error of the output (threshold 0.7).
+"""
+
+from repro.benchmarks_suite.svd.benchmark import SVDBenchmark, SVDInput
+
+__all__ = ["SVDBenchmark", "SVDInput"]

@@ -1,0 +1,144 @@
+"""Command-line interface for the reproduction.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro list                       # show the available tests
+    python -m repro table1 --tests sort2 svd   # regenerate Table-1 rows
+    python -m repro figure7                    # print the model curves
+    python -m repro train sort2 --inputs 80    # train and summarize one test
+
+The CLI is a thin wrapper over :mod:`repro.experiments`; every command prints
+plain text suitable for piping into a report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.benchmarks_suite import registry
+from repro.experiments.figure7 import model_figure7a, model_figure7b
+from repro.experiments.reporting import format_series, format_table
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.experiments.table1 import TABLE1_TESTS, format_table1, run_table1, summarize_headline
+
+
+def _experiment_config(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(
+        n_inputs=args.inputs,
+        n_clusters=args.clusters,
+        tuner_generations=args.generations,
+        seed=args.seed,
+    )
+
+
+def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--inputs", type=int, default=120, help="training+test inputs per benchmark")
+    parser.add_argument("--clusters", type=int, default=10, help="number of Level-1 clusters (K1)")
+    parser.add_argument("--generations", type=int, default=6, help="autotuner generations per landmark")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    """Print the registered Table-1 tests."""
+    rows = []
+    for name in sorted(registry()):
+        variant = registry()[name]()
+        program = variant.benchmark.program
+        rows.append(
+            [
+                name,
+                variant.benchmark.name,
+                variant.variant,
+                "yes" if program.has_variable_accuracy else "no",
+                str(program.features.num_features()),
+            ]
+        )
+    print(format_table(["test", "benchmark", "inputs", "variable accuracy", "features"], rows))
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    """Regenerate Table-1 rows for the selected tests."""
+    tests = args.tests or list(TABLE1_TESTS)
+    unknown = [test for test in tests if test not in registry()]
+    if unknown:
+        print(f"unknown tests: {unknown}", file=sys.stderr)
+        return 2
+    rows = run_table1(tests=tests, config=_experiment_config(args), progress=lambda m: print(f"# {m}"))
+    print(format_table1(rows))
+    headline = summarize_headline(rows)
+    print(f"\nmax two-level speedup: {headline['max_two_level_speedup']:.2f}x")
+    print(f"max two-level / one-level ratio: {headline['max_two_over_one_level']:.2f}x")
+    return 0
+
+
+def cmd_figure7(_args: argparse.Namespace) -> int:
+    """Print the Section 4.3 model curves (Figure 7a peaks and Figure 7b)."""
+    curves = model_figure7a()
+    peaks = [[str(k), f"{float(curve.y.max()):.4f}"] for k, curve in sorted(curves.items())]
+    print("Figure 7a: worst-case expected loss by number of configurations")
+    print(format_table(["configs", "peak loss"], peaks))
+    print()
+    curve = model_figure7b()
+    print("Figure 7b: fraction of full speedup vs landmarks")
+    print(format_series(curve.x.tolist(), curve.y.tolist(), "landmarks", "fraction"))
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    """Train one test end to end and print a short summary."""
+    if args.test not in registry():
+        print(f"unknown test {args.test!r}; use 'list' to see options", file=sys.stderr)
+        return 2
+    result = run_experiment(args.test, config=_experiment_config(args))
+    training = result.training
+    print(f"test: {args.test}")
+    print(f"landmarks: {len(training.landmarks)}")
+    print(f"production classifier: {training.production_classifier.name}")
+    print(f"relabel shift: {training.level2.relabel_shift:.1%}")
+    rows = [
+        [
+            name,
+            f"{result.mean_speedup(name):.2f}x",
+            f"{result.mean_speedup(name, with_extraction=False):.2f}x",
+            f"{result.satisfaction(name):.1%}",
+        ]
+        for name in ("dynamic_oracle", "two_level", "one_level")
+    ]
+    print(format_table(["method", "speedup (w/ features)", "speedup (w/o)", "accuracy satisfied"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available benchmark tests").set_defaults(func=cmd_list)
+
+    table1 = subparsers.add_parser("table1", help="regenerate Table-1 rows")
+    table1.add_argument("--tests", nargs="*", default=None)
+    _add_scale_arguments(table1)
+    table1.set_defaults(func=cmd_table1)
+
+    figure7 = subparsers.add_parser("figure7", help="print the theoretical model curves")
+    figure7.set_defaults(func=cmd_figure7)
+
+    train = subparsers.add_parser("train", help="train one test and summarize it")
+    train.add_argument("test")
+    _add_scale_arguments(train)
+    train.set_defaults(func=cmd_train)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,273 @@
+"""Level 1: feature extraction, input clustering, landmark creation,
+performance measurement (the paper's Figure 4 pipeline).
+
+Steps (Section 3.1):
+
+1. **Feature Extraction** -- assemble the M-dimensional feature vector (every
+   property at every sampling level) for every training input, recording the
+   per-feature extraction cost.
+2. **Input Clustering** -- normalize the vectors and run K-means with K1
+   clusters.
+3. **Landmark Creation** -- autotune the program once per cluster, using the
+   cluster's representative input (the training input closest to the
+   centroid) as the presumed input; the winning configuration is that
+   cluster's *landmark*.  The paper feeds the centroid itself to the
+   autotuner; using the nearest real input is equivalent for our purposes
+   and avoids having to invert feature extraction.
+4. **Performance Measurement** -- run every landmark on every training input,
+   recording execution time and accuracy.
+
+The output is a :class:`~repro.core.dataset.PerformanceDataset`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.autotuner import EvolutionaryAutotuner
+from repro.core.dataset import PerformanceDataset
+from repro.lang.config import Configuration
+from repro.lang.program import PetaBricksProgram
+from repro.ml.kmeans import KMeans
+from repro.ml.normalize import ZScoreNormalizer
+
+
+@dataclass
+class Level1Config:
+    """Knobs of the Level-1 pipeline.
+
+    Attributes:
+        n_clusters: K1, the number of input clusters / landmarks (the paper
+            uses 100; the reproduction defaults to a smaller value because
+            Section 4.3 shows 10-30 landmarks already capture most of the
+            benefit and the experiment matrix is N x K1 program runs).
+        seed: RNG seed for clustering and autotuning.
+        tuner_generations: generation budget of the evolutionary autotuner.
+        tuner_population: population size of the evolutionary autotuner.
+        tuning_neighbors: how many inputs nearest to each centroid the
+            autotuner evaluates candidates on.  The paper tunes on the
+            centroid itself; evaluating on a few nearby real inputs makes the
+            landmark's accuracy guarantee hold with some confidence across
+            the cluster, which matters for the variable-accuracy benchmarks.
+        deduplicate_landmarks: drop duplicate configurations produced for
+            different clusters (keeps the landmark set tight).
+    """
+
+    n_clusters: int = 15
+    seed: int = 0
+    tuner_generations: int = 10
+    tuner_population: int = 10
+    tuning_neighbors: int = 3
+    deduplicate_landmarks: bool = True
+
+
+@dataclass
+class Level1Result:
+    """Everything Level 1 produces.
+
+    Attributes:
+        dataset: the <F, T, A, E> datatable.
+        cluster_labels: K-means cluster index per training input.
+        centroids: cluster centroids in normalized feature space.
+        representative_indices: per cluster, the indices of the training
+            inputs used as the presumed inputs during autotuning (the
+            ``tuning_neighbors`` members closest to the centroid).
+        landmarks: the landmark configurations (deduplicated when requested).
+        cluster_to_landmark: for each Level-1 cluster, the index of its
+            landmark in ``landmarks`` (several clusters may share a landmark
+            after deduplication).
+        normalizer: the feature normalizer fitted on the training features
+            (needed by the one-level baseline to classify new inputs).
+        tuning_evaluations: total number of program runs spent autotuning.
+    """
+
+    dataset: PerformanceDataset
+    cluster_labels: np.ndarray
+    centroids: np.ndarray
+    representative_indices: List[List[int]]
+    landmarks: List[Configuration]
+    cluster_to_landmark: List[int]
+    normalizer: ZScoreNormalizer
+    tuning_evaluations: int = 0
+
+
+def extract_features(
+    program: PetaBricksProgram, inputs: Sequence[Any]
+) -> Dict[str, np.ndarray]:
+    """Step 1: extract every feature of every input, with costs.
+
+    Returns a dict with ``"features"`` (N, M) and ``"costs"`` (N, M).
+    """
+    n = len(inputs)
+    m = program.features.num_features()
+    features = np.zeros((n, m))
+    costs = np.zeros((n, m))
+    for i, program_input in enumerate(inputs):
+        values, extraction_costs = program.features.extract_vector(program_input)
+        features[i] = values
+        costs[i] = extraction_costs
+    return {"features": features, "costs": costs}
+
+
+def cluster_inputs(
+    features: np.ndarray, n_clusters: int, seed: int = 0
+) -> Dict[str, Any]:
+    """Step 2: normalize the feature vectors and K-means them into K1 groups."""
+    normalizer = ZScoreNormalizer()
+    normalized = normalizer.fit_transform(features)
+    kmeans = KMeans(n_clusters=n_clusters, random_state=seed)
+    result = kmeans.fit(normalized)
+    return {
+        "normalizer": normalizer,
+        "normalized": normalized,
+        "labels": result.labels,
+        "centroids": result.centroids,
+    }
+
+
+def representative_input_indices(
+    normalized_features: np.ndarray,
+    labels: np.ndarray,
+    centroids: np.ndarray,
+    n_neighbors: int = 1,
+) -> List[List[int]]:
+    """For each cluster, the indices of the inputs closest to its centroid.
+
+    Returns a list of index lists (one per cluster), each containing up to
+    ``n_neighbors`` member indices ordered by distance to the centroid.
+    Empty clusters (possible after k-means repair) fall back to the globally
+    closest inputs.
+    """
+    n_neighbors = max(1, n_neighbors)
+    representatives: List[List[int]] = []
+    for cluster in range(centroids.shape[0]):
+        members = np.flatnonzero(labels == cluster)
+        if members.size == 0:
+            distances = np.sum((normalized_features - centroids[cluster]) ** 2, axis=1)
+            order = np.argsort(distances)[:n_neighbors]
+            representatives.append([int(i) for i in order])
+            continue
+        distances = np.sum(
+            (normalized_features[members] - centroids[cluster]) ** 2, axis=1
+        )
+        order = members[np.argsort(distances)][:n_neighbors]
+        representatives.append([int(i) for i in order])
+    return representatives
+
+
+def create_landmarks(
+    program: PetaBricksProgram,
+    inputs: Sequence[Any],
+    representative_indices: Sequence[Sequence[int]],
+    config: Level1Config,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Step 3: autotune the program once per cluster.
+
+    Each cluster's autotuning run evaluates candidates on that cluster's
+    representative inputs (the ``tuning_neighbors`` inputs closest to the
+    centroid), so the landmark's accuracy holds with some confidence across
+    the cluster rather than on a single presumed input only.
+    """
+    landmarks: List[Configuration] = []
+    evaluations = 0
+    for rank, member_indices in enumerate(representative_indices):
+        tuner = EvolutionaryAutotuner(
+            population_size=config.tuner_population,
+            offspring_per_generation=config.tuner_population,
+            max_generations=config.tuner_generations,
+            seed=config.seed + rank,
+        )
+        tuning_inputs = [inputs[i] for i in member_indices]
+        result = tuner.tune(program, tuning_inputs)
+        landmarks.append(result.best_config)
+        evaluations += result.evaluations
+        if progress is not None:
+            progress(
+                f"landmark {rank + 1}/{len(representative_indices)} tuned "
+                f"({result.evaluations} runs)"
+            )
+    return {"landmarks": landmarks, "evaluations": evaluations}
+
+
+def measure_performance(
+    program: PetaBricksProgram,
+    inputs: Sequence[Any],
+    landmarks: Sequence[Configuration],
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, np.ndarray]:
+    """Step 4: run every landmark on every input, recording time and accuracy."""
+    n, k = len(inputs), len(landmarks)
+    times = np.zeros((n, k))
+    accuracies = np.zeros((n, k))
+    for j, landmark in enumerate(landmarks):
+        for i, program_input in enumerate(inputs):
+            result = program.run(landmark, program_input)
+            times[i, j] = result.time
+            accuracies[i, j] = result.accuracy
+        if progress is not None:
+            progress(f"measured landmark {j + 1}/{k} on {n} inputs")
+    return {"times": times, "accuracies": accuracies}
+
+
+def run_level1(
+    program: PetaBricksProgram,
+    inputs: Sequence[Any],
+    config: Optional[Level1Config] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Level1Result:
+    """Run the full Level-1 pipeline and assemble the performance dataset."""
+    if config is None:
+        config = Level1Config()
+    if len(inputs) < 2:
+        raise ValueError("Level 1 needs at least two training inputs")
+
+    extracted = extract_features(program, inputs)
+    n_clusters = min(config.n_clusters, len(inputs))
+    clustering = cluster_inputs(extracted["features"], n_clusters, seed=config.seed)
+    representatives = representative_input_indices(
+        clustering["normalized"],
+        clustering["labels"],
+        clustering["centroids"],
+        n_neighbors=config.tuning_neighbors,
+    )
+    landmark_info = create_landmarks(
+        program, inputs, representatives, config, progress=progress
+    )
+
+    raw_landmarks = landmark_info["landmarks"]
+    if config.deduplicate_landmarks:
+        landmarks = []
+        cluster_to_landmark = []
+        for landmark in raw_landmarks:
+            if landmark not in landmarks:
+                landmarks.append(landmark)
+            cluster_to_landmark.append(landmarks.index(landmark))
+    else:
+        landmarks = list(raw_landmarks)
+        cluster_to_landmark = list(range(len(raw_landmarks)))
+
+    measured = measure_performance(program, inputs, landmarks, progress=progress)
+    dataset = PerformanceDataset(
+        feature_names=program.features.feature_names(),
+        features=extracted["features"],
+        extraction_costs=extracted["costs"],
+        times=measured["times"],
+        accuracies=measured["accuracies"],
+        landmarks=list(landmarks),
+        requirement=program.accuracy_requirement,
+        inputs=list(inputs),
+    )
+    return Level1Result(
+        dataset=dataset,
+        cluster_labels=clustering["labels"],
+        centroids=clustering["centroids"],
+        representative_indices=representatives,
+        landmarks=list(landmarks),
+        cluster_to_landmark=cluster_to_landmark,
+        normalizer=clustering["normalizer"],
+        tuning_evaluations=landmark_info["evaluations"],
+    )

@@ -1,0 +1,304 @@
+"""Level 2: cluster refinement, cost matrix, classifier zoo, selection
+(the paper's Figure 5 pipeline).
+
+Steps (Section 3.2):
+
+1. **Cluster refinement / labelling** -- regroup the training inputs by
+   their *best landmark configuration* (accuracy-then-time rule), closing
+   the mapping-disparity gap between the Level-1 feature-space clusters and
+   the performance space.
+2. **Cost matrix** -- ``C[i, j] = lambda * Ca[i, j] * max_t(Cp[i, t]) +
+   Cp[i, j]`` where ``Cp[i, j]`` is the mean execution-time penalty of
+   running landmark ``j`` on inputs labelled ``i`` and ``Ca[i, j]`` the
+   fraction of those inputs for which landmark ``j`` misses the accuracy
+   threshold.  The paper found ``lambda = 0.5`` best and we default to it.
+3. **Classifier learning** -- one Max-apriori classifier, one decision tree
+   per enumerated feature subset (at most one level per property), the
+   all-features tree, and incremental feature-examination classifiers at a
+   few posterior thresholds.
+4. **Production-classifier selection** -- every candidate is scored on the
+   test rows with the efficacy objective of :mod:`repro.core.selection`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.classifiers import (
+    AllFeaturesClassifier,
+    CandidateClassifier,
+    IncrementalFeatureExaminationClassifier,
+    MaxAprioriClassifier,
+    SubsetDecisionTreeClassifier,
+    order_features_by_cost,
+)
+from repro.core.dataset import PerformanceDataset
+from repro.core.selection import (
+    ClassifierEvaluation,
+    evaluate_classifier,
+    select_production_classifier,
+)
+
+
+@dataclass
+class Level2Config:
+    """Knobs of the Level-2 pipeline.
+
+    Attributes:
+        accuracy_cost_weight: the paper's lambda in the cost matrix (0.5).
+        conservative_cost_weights: additional lambda values at which each
+            feature-subset tree is retrained for variable-accuracy programs.
+            The paper tuned lambda by trying values between 0.001 and 1 and
+            keeping the best; exposing a few heavier weights in the candidate
+            zoo lets the selection step pick a more accuracy-conservative
+            tree when the default one misses the satisfaction threshold.
+        max_subsets: cap on the number of enumerated feature subsets; when
+            the full enumeration ``(z + 1)^u - 1`` exceeds this, a
+            deterministic random sample of subsets is used instead.
+        tree_max_depth: decision-tree depth cap.
+        incremental_thresholds: posterior thresholds at which to instantiate
+            incremental feature-examination classifiers.
+        seed: RNG seed for subset sampling.
+    """
+
+    accuracy_cost_weight: float = 0.5
+    conservative_cost_weights: Tuple[float, ...] = (4.0,)
+    max_subsets: int = 256
+    tree_max_depth: int = 8
+    incremental_thresholds: Tuple[float, ...] = (0.5, 0.7, 0.9)
+    seed: int = 0
+
+
+@dataclass
+class Level2Result:
+    """Everything Level 2 produces.
+
+    Attributes:
+        labels: the refined (performance-based) label per training input.
+        cost_matrix: the K1 x K1 misclassification cost matrix.
+        classifiers: every trained candidate classifier.
+        evaluations: the test-set evaluation of every candidate.
+        production: the selected production classifier's evaluation.
+        train_rows / test_rows: the row split used.
+        relabel_shift: fraction of training rows whose refined label differs
+            from the landmark of their Level-1 cluster (the paper reports
+            73.4% for Kmeans); ``None`` when the Level-1 cluster mapping was
+            not supplied.
+    """
+
+    labels: np.ndarray
+    cost_matrix: np.ndarray
+    classifiers: List[CandidateClassifier]
+    evaluations: List[ClassifierEvaluation]
+    production: ClassifierEvaluation
+    train_rows: np.ndarray
+    test_rows: np.ndarray
+    relabel_shift: Optional[float] = None
+
+
+def compute_labels(dataset: PerformanceDataset) -> np.ndarray:
+    """The refined labels: best landmark per input (accuracy-then-time)."""
+    return dataset.labels()
+
+
+def build_cost_matrix(
+    dataset: PerformanceDataset,
+    labels: np.ndarray,
+    accuracy_cost_weight: float = 0.5,
+) -> np.ndarray:
+    """The paper's misclassification cost matrix.
+
+    ``Cp[i, j]`` is the mean extra execution time incurred by running
+    landmark ``j`` instead of the best landmark on inputs labelled ``i``;
+    ``Ca[i, j]`` is the fraction of those inputs for which landmark ``j``
+    misses the accuracy threshold.  The combined cost is
+    ``lambda * Ca * scale_i + Cp``.
+
+    Two implementation details keep the matrix well behaved for
+    variable-accuracy programs:
+
+    * the per-input time difference is clamped at zero before averaging --
+      a landmark that is *faster* than the label landmark is necessarily
+      inaccurate on that input (otherwise it would have been the label), so
+      rewarding the time saving would teach classifiers to violate accuracy;
+    * the accuracy-penalty scale for class ``i`` is the larger of the
+      paper's ``max_t Cp[i, t]`` and the class's mean label execution time,
+      so the penalty does not vanish for classes whose label landmark is the
+      most expensive one (where every ``Cp[i, t]`` is zero after clamping).
+    """
+    k = dataset.n_landmarks
+    performance_penalty = np.zeros((k, k))
+    accuracy_penalty = np.zeros((k, k))
+    scale = np.zeros(k)
+    requirement = dataset.requirement
+
+    for i in range(k):
+        members = np.flatnonzero(labels == i)
+        if members.size == 0:
+            continue
+        member_times = dataset.times[members]
+        best_times = member_times[:, i][:, None]
+        performance_penalty[i] = np.mean(
+            np.maximum(member_times - best_times, 0.0), axis=0
+        )
+        scale[i] = float(np.mean(member_times[:, i]))
+        if requirement.enabled:
+            member_accuracies = dataset.accuracies[members]
+            accuracy_penalty[i] = np.mean(
+                member_accuracies < requirement.accuracy_threshold, axis=0
+            )
+
+    row_scale = np.maximum(performance_penalty.max(axis=1), scale)[:, None]
+    cost = accuracy_cost_weight * accuracy_penalty * row_scale + performance_penalty
+    np.fill_diagonal(cost, 0.0)
+    return cost
+
+
+def enumerate_feature_subsets(
+    dataset: PerformanceDataset,
+    max_subsets: int,
+    seed: int = 0,
+) -> List[Tuple[str, ...]]:
+    """Enumerate candidate feature subsets: at most one level per property.
+
+    Every property independently contributes either nothing or exactly one of
+    its sampling levels, mirroring the paper's ``(z + 1)^u`` enumeration
+    (minus the empty subset).  When the enumeration is larger than
+    ``max_subsets`` a deterministic random sample is drawn, always keeping
+    the all-cheapest-level and all-top-level subsets.
+    """
+    properties: Dict[str, List[str]] = {}
+    for name in dataset.feature_names:
+        prop, _, _ = name.rpartition("@")
+        properties.setdefault(prop, []).append(name)
+
+    options = [[None] + levels for levels in properties.values()]
+    subsets: List[Tuple[str, ...]] = []
+    for combination in itertools.product(*options):
+        chosen = tuple(name for name in combination if name is not None)
+        if chosen:
+            subsets.append(chosen)
+
+    if len(subsets) <= max_subsets:
+        return subsets
+
+    cheapest = tuple(levels[0] for levels in properties.values())
+    richest = tuple(levels[-1] for levels in properties.values())
+    rng = random.Random(seed)
+    sampled = rng.sample(subsets, max_subsets - 2)
+    result = [cheapest, richest] + [s for s in sampled if s not in (cheapest, richest)]
+    return result[:max_subsets]
+
+
+def train_classifier_zoo(
+    dataset: PerformanceDataset,
+    labels: np.ndarray,
+    train_rows: Sequence[int],
+    cost_matrix: np.ndarray,
+    config: Level2Config,
+) -> List[CandidateClassifier]:
+    """Instantiate and fit every candidate classifier on the training rows."""
+    classifiers: List[CandidateClassifier] = []
+
+    classifiers.append(MaxAprioriClassifier().fit(dataset, train_rows, labels))
+
+    # For variable-accuracy programs also train accuracy-conservative trees
+    # (heavier lambda), giving the selection step valid candidates even when
+    # the default-lambda trees miss the satisfaction threshold.
+    cost_matrices = [("", cost_matrix)]
+    if dataset.requirement.enabled:
+        for weight in config.conservative_cost_weights:
+            cost_matrices.append(
+                (
+                    f"|lam={weight:g}",
+                    build_cost_matrix(dataset, labels, accuracy_cost_weight=weight),
+                )
+            )
+
+    subsets = enumerate_feature_subsets(dataset, config.max_subsets, seed=config.seed)
+    for subset in subsets:
+        for suffix, matrix in cost_matrices:
+            classifier = SubsetDecisionTreeClassifier(
+                feature_names=subset,
+                cost_matrix=matrix,
+                max_depth=config.tree_max_depth,
+                name="dtree[" + ",".join(subset) + "]" + suffix,
+            )
+            classifiers.append(classifier.fit(dataset, train_rows, labels))
+
+    classifiers.append(
+        AllFeaturesClassifier(
+            dataset.feature_names, cost_matrix=cost_matrix, max_depth=config.tree_max_depth
+        ).fit(dataset, train_rows, labels)
+    )
+
+    ordered = order_features_by_cost(dataset, dataset.feature_names)
+    for threshold in config.incremental_thresholds:
+        classifier = IncrementalFeatureExaminationClassifier(
+            feature_names=ordered,
+            posterior_threshold=threshold,
+            name=f"incremental[t={threshold}]",
+        )
+        classifiers.append(classifier.fit(dataset, train_rows, labels))
+
+    return classifiers
+
+
+def run_level2(
+    dataset: PerformanceDataset,
+    train_rows: Sequence[int],
+    test_rows: Sequence[int],
+    config: Optional[Level2Config] = None,
+    level1_cluster_labels: Optional[np.ndarray] = None,
+    cluster_to_landmark: Optional[Sequence[int]] = None,
+) -> Level2Result:
+    """Run the full Level-2 pipeline.
+
+    Args:
+        dataset: the Level-1 performance dataset.
+        train_rows: rows used to fit the classifiers.
+        test_rows: rows used to evaluate and select the production classifier.
+        config: Level-2 knobs.
+        level1_cluster_labels: optional Level-1 K-means cluster per row,
+            used only to report the relabel-shift statistic.
+        cluster_to_landmark: optional mapping from Level-1 cluster index to
+            landmark index (needed together with ``level1_cluster_labels``).
+    """
+    if config is None:
+        config = Level2Config()
+    train_rows = np.asarray(train_rows, dtype=int)
+    test_rows = np.asarray(test_rows, dtype=int)
+    if train_rows.size == 0 or test_rows.size == 0:
+        raise ValueError("both train and test rows must be non-empty")
+
+    labels = compute_labels(dataset)
+    cost_matrix = build_cost_matrix(
+        dataset, labels, accuracy_cost_weight=config.accuracy_cost_weight
+    )
+    classifiers = train_classifier_zoo(dataset, labels, train_rows, cost_matrix, config)
+    evaluations = [
+        evaluate_classifier(classifier, dataset, test_rows) for classifier in classifiers
+    ]
+    production = select_production_classifier(evaluations)
+
+    relabel_shift: Optional[float] = None
+    if level1_cluster_labels is not None and cluster_to_landmark is not None:
+        mapping = np.asarray(list(cluster_to_landmark), dtype=int)
+        level1_landmarks = mapping[np.asarray(level1_cluster_labels, dtype=int)]
+        relabel_shift = float(np.mean(level1_landmarks != labels))
+
+    return Level2Result(
+        labels=labels,
+        cost_matrix=cost_matrix,
+        classifiers=classifiers,
+        evaluations=evaluations,
+        production=production,
+        train_rows=train_rows,
+        test_rows=test_rows,
+        relabel_shift=relabel_shift,
+    )

@@ -1,0 +1,95 @@
+"""The Section 4.3 theoretical model: diminishing returns in landmarks.
+
+The model assumes the input space is partitioned into regions, each dominated
+by one optimal configuration; region ``i`` has size (probability mass)
+``p_i`` and yields speedup ``s_i`` when its dominant configuration is used
+(and no speedup otherwise).  If ``k`` landmark configurations are sampled
+uniformly at random, the chance of missing region ``i`` is ``(1 - p_i)^k``,
+so the expected lost speedup is
+
+    L = sum_i (1 - p_i)^k * p_i * s_i / sum_i s_i.
+
+Differentiating with respect to ``p_i`` shows the worst-case region size is
+``p = 1 / (k + 1)``; plugging it back in gives the diminishing-returns curve
+of Figure 7b.  Figure 7a plots ``L`` as a function of region size for several
+``k`` (all ``s_i`` equal).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+ArrayLike = Union[float, Sequence[float], np.ndarray]
+
+
+def expected_speedup_loss(
+    region_sizes: ArrayLike,
+    n_landmarks: int,
+    speedups: ArrayLike = None,
+) -> float:
+    """Expected lost speedup L for given region sizes and landmark count.
+
+    Args:
+        region_sizes: the p_i values (each in [0, 1]).
+        n_landmarks: k, the number of uniformly sampled landmarks.
+        speedups: the s_i values; defaults to all ones.
+
+    Raises:
+        ValueError: if any region size is outside [0, 1] or k < 0.
+    """
+    p = np.atleast_1d(np.asarray(region_sizes, dtype=float))
+    if np.any((p < 0.0) | (p > 1.0)):
+        raise ValueError("region sizes must lie in [0, 1]")
+    if n_landmarks < 0:
+        raise ValueError("n_landmarks must be non-negative")
+    if speedups is None:
+        s = np.ones_like(p)
+    else:
+        s = np.atleast_1d(np.asarray(speedups, dtype=float))
+        if s.shape != p.shape:
+            raise ValueError("speedups must match region_sizes in length")
+    total = float(np.sum(s))
+    if total <= 0:
+        raise ValueError("total speedup must be positive")
+    return float(np.sum((1.0 - p) ** n_landmarks * p * s) / total)
+
+
+def loss_curve(region_sizes: ArrayLike, n_landmarks: int) -> np.ndarray:
+    """Figure 7a: per-region-size loss contribution (all speedups equal).
+
+    Returns an array of the same shape as ``region_sizes`` with the value of
+    ``(1 - p)^k * p`` for each p.
+    """
+    p = np.asarray(region_sizes, dtype=float)
+    if np.any((p < 0.0) | (p > 1.0)):
+        raise ValueError("region sizes must lie in [0, 1]")
+    return (1.0 - p) ** n_landmarks * p
+
+
+def worst_case_region_size(n_landmarks: int) -> float:
+    """The region size maximizing the expected loss: ``p = 1 / (k + 1)``.
+
+    Obtained by solving ``dL/dp = 0`` for a single region.
+    """
+    if n_landmarks < 0:
+        raise ValueError("n_landmarks must be non-negative")
+    return 1.0 / (n_landmarks + 1)
+
+
+def worst_case_loss(n_landmarks: int) -> float:
+    """Expected loss at the worst-case region size for ``k`` landmarks."""
+    p = worst_case_region_size(n_landmarks)
+    return float((1.0 - p) ** n_landmarks * p)
+
+
+def fraction_of_full_speedup(n_landmarks: Union[int, Sequence[int]]) -> np.ndarray:
+    """Figure 7b: predicted fraction of the full speedup vs. landmark count.
+
+    Normalized so the curve approaches 1 as ``k`` grows (the model's own
+    scaling constant is problem specific and the paper omits y-axis units).
+    """
+    ks = np.atleast_1d(np.asarray(n_landmarks, dtype=int))
+    losses = np.array([worst_case_loss(int(k)) for k in ks])
+    return 1.0 - losses

@@ -1,0 +1,176 @@
+"""End-to-end input-aware learning pipeline and deployment object.
+
+:class:`InputAwareLearning` wires the two levels together exactly as the
+paper's Figure 3 describes: training consumes the program (with its
+algorithmic choices and ``input_feature`` extractors) plus a set of training
+inputs, and produces an *input classifier* together with the set of
+*input-optimized programs* (the landmark configurations).  The resulting
+:class:`DeployedProgram` is what a user runs in production: for each incoming
+input it extracts only the features the production classifier needs, selects
+the landmark configuration predicted to perform best, and runs the program
+with it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.classifiers import CandidateClassifier
+from repro.core.dataset import PerformanceDataset
+from repro.core.level1 import Level1Config, Level1Result, run_level1
+from repro.core.level2 import Level2Config, Level2Result, run_level2
+from repro.lang.config import Configuration
+from repro.lang.program import PetaBricksProgram, RunResult
+from repro.ml.crossval import train_test_split
+
+
+@dataclass
+class DeploymentOutcome:
+    """Result of running one input through a deployed program.
+
+    Attributes:
+        result: the program's run result (output, time, accuracy).
+        configuration: the landmark configuration that was selected.
+        landmark_index: its index in the landmark list.
+        feature_extraction_cost: work spent probing the input's features.
+        total_time: execution time plus feature-extraction cost.
+    """
+
+    result: RunResult
+    configuration: Configuration
+    landmark_index: int
+    feature_extraction_cost: float
+
+    @property
+    def total_time(self) -> float:
+        return self.result.time + self.feature_extraction_cost
+
+
+class DeployedProgram:
+    """The deployment-time artifact: classifier + input-optimized programs."""
+
+    def __init__(
+        self,
+        program: PetaBricksProgram,
+        landmarks: Sequence[Configuration],
+        classifier: CandidateClassifier,
+    ) -> None:
+        if not landmarks:
+            raise ValueError("a deployed program needs at least one landmark")
+        self.program = program
+        self.landmarks = list(landmarks)
+        self.classifier = classifier
+
+    def select_configuration(self, program_input: Any) -> Tuple[Configuration, int, float]:
+        """Classify the input and return (configuration, index, extraction cost)."""
+        label, cost = self.classifier.classify_input(program_input, self.program.features)
+        label = int(min(max(label, 0), len(self.landmarks) - 1))
+        return self.landmarks[label], label, cost
+
+    def run(self, program_input: Any) -> DeploymentOutcome:
+        """Select the input-optimized program for this input and run it."""
+        configuration, index, cost = self.select_configuration(program_input)
+        result = self.program.run(configuration, program_input)
+        return DeploymentOutcome(
+            result=result,
+            configuration=configuration,
+            landmark_index=index,
+            feature_extraction_cost=cost,
+        )
+
+
+@dataclass
+class TrainingResult:
+    """Everything produced by a full training run.
+
+    Attributes:
+        level1: the Level-1 result (clusters, landmarks, dataset).
+        level2: the Level-2 result (labels, classifiers, production choice).
+        deployed: the deployment-time object.
+        train_rows / test_rows: the input split used.
+    """
+
+    level1: Level1Result
+    level2: Level2Result
+    deployed: DeployedProgram
+    train_rows: np.ndarray
+    test_rows: np.ndarray
+
+    @property
+    def dataset(self) -> PerformanceDataset:
+        """The <F, T, A, E> datatable."""
+        return self.level1.dataset
+
+    @property
+    def landmarks(self) -> List[Configuration]:
+        """The landmark configurations."""
+        return self.level1.landmarks
+
+    @property
+    def production_classifier(self) -> CandidateClassifier:
+        """The classifier selected for production."""
+        return self.level2.production.classifier
+
+
+class InputAwareLearning:
+    """The two-level input-aware learning framework (paper Section 3).
+
+    Args:
+        level1_config: Level-1 knobs (cluster count, autotuner budget, seed).
+        level2_config: Level-2 knobs (cost-matrix lambda, subset cap, ...).
+        test_fraction: fraction of inputs held out for classifier selection
+            and evaluation (the paper uses roughly half).
+        seed: seed for the train/test split.
+    """
+
+    def __init__(
+        self,
+        level1_config: Optional[Level1Config] = None,
+        level2_config: Optional[Level2Config] = None,
+        test_fraction: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        self.level1_config = level1_config or Level1Config()
+        self.level2_config = level2_config or Level2Config()
+        if not (0.0 < test_fraction < 1.0):
+            raise ValueError("test_fraction must be in (0, 1)")
+        self.test_fraction = test_fraction
+        self.seed = seed
+
+    def fit(
+        self,
+        program: PetaBricksProgram,
+        inputs: Sequence[Any],
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> TrainingResult:
+        """Train the two-level system on the given program and inputs."""
+        if len(inputs) < 4:
+            raise ValueError("need at least 4 training inputs")
+
+        level1 = run_level1(program, inputs, config=self.level1_config, progress=progress)
+        train_rows, test_rows = train_test_split(
+            len(inputs), test_fraction=self.test_fraction, random_state=self.seed
+        )
+        level2 = run_level2(
+            level1.dataset,
+            train_rows,
+            test_rows,
+            config=self.level2_config,
+            level1_cluster_labels=level1.cluster_labels,
+            cluster_to_landmark=level1.cluster_to_landmark,
+        )
+        deployed = DeployedProgram(
+            program=program,
+            landmarks=level1.landmarks,
+            classifier=level2.production.classifier,
+        )
+        return TrainingResult(
+            level1=level1,
+            level2=level2,
+            deployed=deployed,
+            train_rows=train_rows,
+            test_rows=test_rows,
+        )

@@ -1,0 +1,40 @@
+"""Experiment drivers that regenerate the paper's tables and figures.
+
+* :mod:`repro.experiments.runner` -- shared orchestration: train the
+  two-level system on a benchmark test and evaluate every comparison method
+  on the held-out inputs.
+* :mod:`repro.experiments.table1` -- Table 1 (mean speedups over the static
+  oracle for all 8 tests, plus the one-level accuracy column).
+* :mod:`repro.experiments.figure6` -- Figure 6 (per-input speedup
+  distributions).
+* :mod:`repro.experiments.figure7` -- Figure 7 (theoretical model curves).
+* :mod:`repro.experiments.figure8` -- Figure 8 (measured speedup vs. number
+  of landmarks, over random landmark subsets).
+* :mod:`repro.experiments.ablations` -- the in-text ablations: k-means vs.
+  random landmark selection, and the Level-2 relabel shift.
+* :mod:`repro.experiments.reporting` -- plain-text rendering helpers.
+"""
+
+from repro.experiments.runner import ExperimentConfig, ExperimentResult, MethodOutcome, run_experiment
+from repro.experiments.table1 import Table1Row, run_table1, summarize_headline
+from repro.experiments.figure6 import SpeedupDistribution, run_figure6
+from repro.experiments.figure7 import model_figure7a, model_figure7b
+from repro.experiments.figure8 import LandmarkSweepPoint, run_figure8
+from repro.experiments.reporting import format_table
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "format_table",
+    "LandmarkSweepPoint",
+    "MethodOutcome",
+    "model_figure7a",
+    "model_figure7b",
+    "run_experiment",
+    "run_figure6",
+    "run_figure8",
+    "run_table1",
+    "SpeedupDistribution",
+    "summarize_headline",
+    "Table1Row",
+]

@@ -1,0 +1,66 @@
+"""Figure 6: distribution of per-input speedups over the static oracle.
+
+The paper plots, for each test, the speedup of the two-level method on every
+individual input, sorted ascending; the interesting observation is the heavy
+right tail (small sets of inputs with very large speedups, up to 90x) even
+where the mean speedup is modest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.runner import ExperimentConfig, ExperimentResult, run_experiment
+
+
+@dataclass
+class SpeedupDistribution:
+    """The sorted per-input speedup series for one test (one Figure 6 panel).
+
+    Attributes:
+        test_name: which test the panel belongs to.
+        speedups: per-input speedups over the static oracle, sorted ascending
+            (this is exactly the series the paper plots).
+    """
+
+    test_name: str
+    speedups: np.ndarray
+
+    @property
+    def mean(self) -> float:
+        """Mean per-input speedup."""
+        return float(np.mean(self.speedups))
+
+    @property
+    def maximum(self) -> float:
+        """The largest per-input speedup (the tail the paper highlights)."""
+        return float(np.max(self.speedups))
+
+    def tail_fraction(self, factor: float = 2.0) -> float:
+        """Fraction of inputs whose speedup exceeds ``factor``x."""
+        return float(np.mean(self.speedups > factor))
+
+    def quantiles(self, probabilities: Sequence[float] = (0.25, 0.5, 0.75)) -> np.ndarray:
+        """Selected quantiles of the distribution."""
+        return np.quantile(self.speedups, list(probabilities))
+
+
+def distribution_from_result(result: ExperimentResult) -> SpeedupDistribution:
+    """Build the Figure-6 panel data from an experiment result."""
+    speedups = np.sort(result.speedups_over_static("two_level", with_extraction=True))
+    return SpeedupDistribution(test_name=result.test_name, speedups=speedups)
+
+
+def run_figure6(
+    tests: Sequence[str],
+    config: Optional[ExperimentConfig] = None,
+) -> Dict[str, SpeedupDistribution]:
+    """Run the requested tests and return each panel's sorted speedup series."""
+    panels: Dict[str, SpeedupDistribution] = {}
+    for test_name in tests:
+        result = run_experiment(test_name, config=config)
+        panels[test_name] = distribution_from_result(result)
+    return panels

@@ -1,0 +1,54 @@
+"""Figure 7: the theoretical diminishing-returns model curves.
+
+* Figure 7a plots the expected lost speedup contributed by an input-space
+  region as a function of its size, for 2-9 sampled configurations.
+* Figure 7b plots the predicted fraction of the full speedup achieved at the
+  worst-case region size as the number of landmarks grows (10-100).
+
+Both are closed-form evaluations of :mod:`repro.core.model`; no benchmark
+runs are involved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.core.model import fraction_of_full_speedup, loss_curve
+
+
+@dataclass
+class ModelCurve:
+    """One plotted curve: x values and y values."""
+
+    label: str
+    x: np.ndarray
+    y: np.ndarray
+
+
+def model_figure7a(
+    config_counts: Sequence[int] = (2, 3, 4, 5, 6, 7, 8, 9),
+    n_points: int = 200,
+) -> Dict[int, ModelCurve]:
+    """The Figure-7a family of curves (loss vs. region size, one per k)."""
+    region_sizes = np.linspace(0.0, 1.0, n_points)
+    curves: Dict[int, ModelCurve] = {}
+    for k in config_counts:
+        curves[int(k)] = ModelCurve(
+            label=f"{k} configs",
+            x=region_sizes,
+            y=loss_curve(region_sizes, int(k)),
+        )
+    return curves
+
+
+def model_figure7b(landmark_counts: Sequence[int] = tuple(range(10, 101, 10))) -> ModelCurve:
+    """The Figure-7b curve (fraction of full speedup vs. number of landmarks)."""
+    ks = np.asarray(list(landmark_counts), dtype=int)
+    return ModelCurve(
+        label="worst-case region size",
+        x=ks.astype(float),
+        y=fraction_of_full_speedup(ks),
+    )

@@ -1,0 +1,148 @@
+"""Figure 8: measured speedup vs. number of landmark configurations.
+
+The paper takes random subsets of the trained landmarks, re-evaluates the
+system restricted to each subset, and plots the speedup over the static
+oracle as the subset size grows (median, quartiles, min, max over 1000
+subsets), observing the same diminishing returns the Section 4.3 model
+predicts.
+
+Two evaluation modes are provided:
+
+* ``"oracle"`` (default) -- the restricted *dynamic oracle* speedup over the
+  restricted static oracle.  This isolates the effect of the landmark budget
+  from classifier quality and is cheap enough to evaluate for many subsets.
+* ``"classifier"`` -- retrains a single cost-sensitive all-features decision
+  tree on the restricted dataset for every subset, which follows the paper's
+  measurement more literally at a much higher cost; use a small
+  ``n_subsets`` with this mode.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.baselines import DynamicOracle, StaticOracle
+from repro.core.classifiers import AllFeaturesClassifier
+from repro.core.dataset import PerformanceDataset
+from repro.core.level2 import build_cost_matrix
+from repro.experiments.runner import ExperimentConfig, ExperimentResult, run_experiment
+
+
+@dataclass
+class LandmarkSweepPoint:
+    """Speedup statistics for one landmark-subset size (one x position).
+
+    Attributes:
+        n_landmarks: subset size.
+        speedups: mean speedup over the static oracle for every sampled
+            subset of this size.
+    """
+
+    n_landmarks: int
+    speedups: np.ndarray
+
+    @property
+    def median(self) -> float:
+        return float(np.median(self.speedups))
+
+    @property
+    def first_quartile(self) -> float:
+        return float(np.quantile(self.speedups, 0.25))
+
+    @property
+    def third_quartile(self) -> float:
+        return float(np.quantile(self.speedups, 0.75))
+
+    @property
+    def minimum(self) -> float:
+        return float(np.min(self.speedups))
+
+    @property
+    def maximum(self) -> float:
+        return float(np.max(self.speedups))
+
+
+def _subset_speedup(
+    dataset: PerformanceDataset,
+    train_rows: np.ndarray,
+    test_rows: np.ndarray,
+    landmark_indices: Sequence[int],
+    mode: str,
+) -> float:
+    """Mean speedup over the static oracle when only a landmark subset exists."""
+    restricted = dataset.restrict_landmarks(landmark_indices)
+    static = StaticOracle().fit(restricted, train_rows).evaluate(restricted, test_rows)
+
+    if mode == "oracle":
+        adaptive_times = DynamicOracle().evaluate(restricted, test_rows).times
+    elif mode == "classifier":
+        labels = restricted.labels()
+        cost_matrix = build_cost_matrix(restricted, labels)
+        classifier = AllFeaturesClassifier(
+            restricted.feature_names, cost_matrix=cost_matrix
+        ).fit(restricted, train_rows, labels)
+        predictions = classifier.predict_rows(restricted, test_rows)
+        adaptive_times = (
+            restricted.times[test_rows, predictions.labels]
+            + predictions.extraction_costs
+        )
+    else:
+        raise ValueError(f"unknown figure-8 mode {mode!r}")
+
+    speedups = static.times / np.maximum(adaptive_times, 1e-12)
+    return float(np.mean(speedups))
+
+
+def landmark_sweep(
+    result: ExperimentResult,
+    landmark_counts: Optional[Sequence[int]] = None,
+    n_subsets: int = 30,
+    mode: str = "oracle",
+    seed: int = 0,
+) -> List[LandmarkSweepPoint]:
+    """Compute the Figure-8 series from an already-trained experiment result."""
+    dataset = result.training.dataset
+    train_rows = result.training.level2.train_rows
+    test_rows = result.training.level2.test_rows
+    total = dataset.n_landmarks
+    if landmark_counts is None:
+        landmark_counts = sorted({1, 2, 3, max(4, total // 2), total})
+    rng = random.Random(seed)
+
+    points: List[LandmarkSweepPoint] = []
+    for count in landmark_counts:
+        count = int(min(max(count, 1), total))
+        speedups = []
+        for _ in range(n_subsets):
+            subset = rng.sample(range(total), count)
+            speedups.append(
+                _subset_speedup(dataset, train_rows, test_rows, subset, mode)
+            )
+        points.append(
+            LandmarkSweepPoint(n_landmarks=count, speedups=np.array(speedups))
+        )
+    return points
+
+
+def run_figure8(
+    tests: Sequence[str],
+    config: Optional[ExperimentConfig] = None,
+    landmark_counts: Optional[Sequence[int]] = None,
+    n_subsets: int = 30,
+    mode: str = "oracle",
+) -> Dict[str, List[LandmarkSweepPoint]]:
+    """Run the requested tests and compute each panel's landmark sweep."""
+    panels: Dict[str, List[LandmarkSweepPoint]] = {}
+    for test_name in tests:
+        result = run_experiment(test_name, config=config)
+        panels[test_name] = landmark_sweep(
+            result,
+            landmark_counts=landmark_counts,
+            n_subsets=n_subsets,
+            mode=mode,
+        )
+    return panels

@@ -1,0 +1,64 @@
+"""Plain-text rendering helpers for experiment output.
+
+The experiment drivers return structured data; these helpers turn that data
+into aligned ASCII tables (for the console and for EXPERIMENTS.md) and into
+simple CSV strings, keeping all formatting concerns out of the drivers.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, List, Sequence
+
+
+def format_table(header: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
+    """Render an aligned ASCII table with a header rule."""
+    rows = [list(map(str, row)) for row in rows]
+    header = list(map(str, header))
+    widths = [len(cell) for cell in header]
+    for row in rows:
+        if len(row) != len(header):
+            raise ValueError("row length does not match header length")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    lines = [render_row(header), "-+-".join("-" * width for width in widths)]
+    lines.extend(render_row(row) for row in rows)
+    return "\n".join(lines)
+
+
+def format_csv(header: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as a minimal CSV string (no quoting of separators needed)."""
+    buffer = io.StringIO()
+    buffer.write(",".join(str(cell) for cell in header) + "\n")
+    for row in rows:
+        buffer.write(",".join(str(cell) for cell in row) + "\n")
+    return buffer.getvalue()
+
+
+def format_series(x: Sequence[float], y: Sequence[float], x_label: str = "x", y_label: str = "y") -> str:
+    """Render a two-column series as an aligned table (for figure data)."""
+    if len(x) != len(y):
+        raise ValueError("x and y must have the same length")
+    rows = [[f"{a:g}", f"{b:g}"] for a, b in zip(x, y)]
+    return format_table([x_label, y_label], rows)
+
+
+def ascii_sparkline(values: Sequence[float], width: int = 60) -> str:
+    """A tiny one-line visualization of a series (used in example scripts)."""
+    values = list(values)
+    if not values:
+        return ""
+    blocks = " .:-=+*#%@"
+    low, high = min(values), max(values)
+    span = (high - low) or 1.0
+    if len(values) > width:
+        stride = len(values) / width
+        values = [values[int(i * stride)] for i in range(width)]
+    return "".join(
+        blocks[min(len(blocks) - 1, int((v - low) / span * (len(blocks) - 1)))]
+        for v in values
+    )

@@ -1,0 +1,187 @@
+"""Shared experiment orchestration.
+
+:func:`run_experiment` takes one of the paper's eight test names (``sort1``,
+``sort2``, ``clustering1``, ``clustering2``, ``binpacking``, ``svd``,
+``poisson2d``, ``helmholtz3d``), trains the two-level system on a training
+split of generated inputs, and evaluates four methods on the held-out test
+split:
+
+* the **static oracle** (baseline for every speedup number),
+* the **dynamic oracle**,
+* the **two-level** production classifier (with and without charging feature
+  extraction),
+* the **one-level** baseline (with and without charging feature extraction).
+
+The result object carries per-input times and speedups so Table 1, Figure 6,
+and Figure 8 can all be derived from the same run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.benchmarks_suite import get_benchmark
+from repro.core.baselines import DynamicOracle, OneLevelLearning, StaticOracle
+from repro.core.level1 import Level1Config
+from repro.core.level2 import Level2Config
+from repro.core.pipeline import InputAwareLearning, TrainingResult
+
+
+@dataclass
+class ExperimentConfig:
+    """Size and seed knobs shared by all experiment drivers.
+
+    The defaults are deliberately small-but-representative so the whole
+    Table-1 matrix runs in minutes; raise ``n_inputs`` and ``n_clusters``
+    to approach the paper's scale (50-60k inputs, 100 landmarks).
+    """
+
+    n_inputs: int = 240
+    n_clusters: int = 12
+    seed: int = 0
+    test_fraction: float = 0.5
+    tuner_generations: int = 8
+    tuner_population: int = 8
+    tuning_neighbors: int = 4
+    max_subsets: int = 192
+
+    def level1(self) -> Level1Config:
+        """Materialize the Level-1 configuration."""
+        return Level1Config(
+            n_clusters=self.n_clusters,
+            seed=self.seed,
+            tuner_generations=self.tuner_generations,
+            tuner_population=self.tuner_population,
+            tuning_neighbors=self.tuning_neighbors,
+        )
+
+    def level2(self) -> Level2Config:
+        """Materialize the Level-2 configuration."""
+        return Level2Config(max_subsets=self.max_subsets, seed=self.seed)
+
+
+@dataclass
+class MethodOutcome:
+    """Per-input evaluation of one method on the test split.
+
+    Attributes:
+        name: method name.
+        times: per-input cost including feature extraction where the method
+            pays for it.
+        times_no_extraction: per-input cost ignoring feature extraction.
+        satisfaction_rate: fraction of test inputs meeting the accuracy
+            threshold under this method.
+    """
+
+    name: str
+    times: np.ndarray
+    times_no_extraction: np.ndarray
+    satisfaction_rate: float
+
+
+@dataclass
+class ExperimentResult:
+    """Everything produced by one test's experiment run."""
+
+    test_name: str
+    training: TrainingResult
+    methods: Dict[str, MethodOutcome]
+    test_rows: np.ndarray
+
+    def speedups_over_static(self, method: str, with_extraction: bool = True) -> np.ndarray:
+        """Per-input speedup of ``method`` over the static oracle."""
+        static = self.methods["static_oracle"].times
+        outcome = self.methods[method]
+        times = outcome.times if with_extraction else outcome.times_no_extraction
+        return static / np.maximum(times, 1e-12)
+
+    def mean_speedup(self, method: str, with_extraction: bool = True) -> float:
+        """Mean per-input speedup of ``method`` over the static oracle."""
+        return float(np.mean(self.speedups_over_static(method, with_extraction)))
+
+    def satisfaction(self, method: str) -> float:
+        """Accuracy-satisfaction rate of ``method`` on the test split."""
+        return self.methods[method].satisfaction_rate
+
+
+def evaluate_methods(training: TrainingResult) -> Dict[str, MethodOutcome]:
+    """Evaluate all comparison methods on the training result's test rows."""
+    dataset = training.dataset
+    train_rows = training.level2.train_rows
+    test_rows = training.level2.test_rows
+
+    methods: Dict[str, MethodOutcome] = {}
+
+    static = StaticOracle().fit(dataset, train_rows).evaluate(dataset, test_rows)
+    methods["static_oracle"] = MethodOutcome(
+        name="static_oracle",
+        times=static.times,
+        times_no_extraction=static.times_no_extraction,
+        satisfaction_rate=static.satisfaction_rate,
+    )
+
+    dynamic = DynamicOracle().evaluate(dataset, test_rows)
+    methods["dynamic_oracle"] = MethodOutcome(
+        name="dynamic_oracle",
+        times=dynamic.times,
+        times_no_extraction=dynamic.times_no_extraction,
+        satisfaction_rate=dynamic.satisfaction_rate,
+    )
+
+    production = training.level2.production.classifier
+    predictions = production.predict_rows(dataset, test_rows)
+    execution = dataset.times[test_rows, predictions.labels]
+    accuracies = dataset.accuracies[test_rows, predictions.labels]
+    if dataset.requirement.enabled:
+        satisfaction = float(
+            np.mean(accuracies >= dataset.requirement.accuracy_threshold)
+        )
+    else:
+        satisfaction = 1.0
+    methods["two_level"] = MethodOutcome(
+        name="two_level",
+        times=execution + predictions.extraction_costs,
+        times_no_extraction=execution,
+        satisfaction_rate=satisfaction,
+    )
+
+    one_level = OneLevelLearning(training.level1).evaluate(dataset, test_rows)
+    methods["one_level"] = MethodOutcome(
+        name="one_level",
+        times=one_level.times,
+        times_no_extraction=one_level.times_no_extraction,
+        satisfaction_rate=one_level.satisfaction_rate,
+    )
+
+    return methods
+
+
+def run_experiment(
+    test_name: str,
+    config: Optional[ExperimentConfig] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> ExperimentResult:
+    """Train and evaluate one of the paper's eight tests end to end."""
+    if config is None:
+        config = ExperimentConfig()
+    variant = get_benchmark(test_name)
+    inputs = variant.benchmark.generate_inputs(
+        config.n_inputs, variant.variant, seed=config.seed
+    )
+    learner = InputAwareLearning(
+        level1_config=config.level1(),
+        level2_config=config.level2(),
+        test_fraction=config.test_fraction,
+        seed=config.seed,
+    )
+    training = learner.fit(variant.benchmark.program, inputs, progress=progress)
+    methods = evaluate_methods(training)
+    return ExperimentResult(
+        test_name=test_name,
+        training=training,
+        methods=methods,
+        test_rows=training.level2.test_rows,
+    )

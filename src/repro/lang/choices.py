@@ -1,0 +1,112 @@
+"""The ``either ... or`` algorithmic-choice construct.
+
+A :class:`ChoiceSite` models a point in a program where exactly one of
+several alternative algorithms must be executed (lines 6-16 of the paper's
+Figure 1).  Because choice sites are typically executed many times
+dynamically (each recursive call of ``Sort`` hits the site again), the
+decision of *which* alternative to run is delegated to a
+:class:`~repro.lang.selector.Selector`, which picks an alternative based on
+the size of the current sub-problem.  A choice site plus a selector therefore
+realizes a *polyalgorithm*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Choice:
+    """A single alternative of a choice site.
+
+    Attributes:
+        name: human-readable identifier (e.g. ``"insertion_sort"``).
+        func: the callable implementing the alternative.  Its signature is
+            benchmark-specific; the benchmark's driver decides how to call it.
+        terminal: True when the alternative does not recurse back into the
+            choice site (e.g. insertion sort is terminal; merge sort is not).
+            Terminal choices are valid base cases for recursive selectors.
+    """
+
+    name: str
+    func: Callable[..., Any]
+    terminal: bool = False
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        return self.func(*args, **kwargs)
+
+
+class ChoiceSite:
+    """A named ``either ... or`` site with a fixed set of alternatives."""
+
+    def __init__(self, name: str, choices: Optional[Sequence[Choice]] = None) -> None:
+        if not name:
+            raise ValueError("choice site name must be non-empty")
+        self.name = name
+        self._choices: List[Choice] = []
+        self._by_name: Dict[str, Choice] = {}
+        for choice in choices or []:
+            self.add(choice)
+
+    def add(self, choice: Choice) -> Choice:
+        """Register an alternative; names must be unique within the site."""
+        if choice.name in self._by_name:
+            raise ValueError(
+                f"duplicate choice {choice.name!r} at site {self.name!r}"
+            )
+        self._choices.append(choice)
+        self._by_name[choice.name] = choice
+        return choice
+
+    def alternative(
+        self, name: str, terminal: bool = False
+    ) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+        """Decorator form of :meth:`add` for concise benchmark definitions.
+
+        Example::
+
+            site = ChoiceSite("sort")
+
+            @site.alternative("insertion_sort", terminal=True)
+            def insertion_sort(data):
+                ...
+        """
+
+        def register(func: Callable[..., Any]) -> Callable[..., Any]:
+            self.add(Choice(name=name, func=func, terminal=terminal))
+            return func
+
+        return register
+
+    @property
+    def choices(self) -> Tuple[Choice, ...]:
+        """All alternatives, in registration order."""
+        return tuple(self._choices)
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """Alternative names, in registration order."""
+        return tuple(c.name for c in self._choices)
+
+    @property
+    def terminal_names(self) -> Tuple[str, ...]:
+        """Names of alternatives marked terminal (valid recursion base cases)."""
+        return tuple(c.name for c in self._choices if c.terminal)
+
+    def get(self, name: str) -> Choice:
+        """Look up an alternative by name.
+
+        Raises:
+            KeyError: if the name is unknown.
+        """
+        return self._by_name[name]
+
+    def __len__(self) -> int:
+        return len(self._choices)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __repr__(self) -> str:
+        return f"ChoiceSite({self.name!r}, choices={list(self.names)})"

@@ -1,0 +1,272 @@
+"""Configuration spaces and configurations.
+
+A PetaBricks program exposes a *configuration space*: the cross product of
+all its tunables, algorithmic-choice selectors, and feature-extractor
+sampling levels.  The evolutionary autotuner searches this space; the
+two-level learning framework stores the resulting configurations as
+"landmarks".
+
+This module provides the parameter descriptors, the
+:class:`ConfigurationSpace` container, and the immutable
+:class:`Configuration` assignment object.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+
+class Parameter:
+    """Base class for a single dimension of a configuration space.
+
+    Subclasses define the value domain and how to sample, mutate, and
+    validate values.  Parameters are identified by ``name`` within a
+    :class:`ConfigurationSpace`.
+    """
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("parameter name must be non-empty")
+        self.name = name
+
+    def sample(self, rng: random.Random) -> Any:
+        """Draw a uniformly random legal value."""
+        raise NotImplementedError
+
+    def mutate(self, value: Any, rng: random.Random, strength: float = 0.3) -> Any:
+        """Return a perturbed legal value near ``value``.
+
+        ``strength`` in (0, 1] scales how far the mutation may move.
+        """
+        raise NotImplementedError
+
+    def validate(self, value: Any) -> bool:
+        """Return True when ``value`` is legal for this parameter."""
+        raise NotImplementedError
+
+    def default(self) -> Any:
+        """Return a reasonable default value."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class IntegerParameter(Parameter):
+    """An integer parameter on the inclusive range [low, high].
+
+    ``log_scale`` samples and mutates multiplicatively, which suits cutoff
+    parameters (e.g. recursion cutoffs of 2..10^5) whose useful values span
+    orders of magnitude.
+    """
+
+    def __init__(self, name: str, low: int, high: int, log_scale: bool = False) -> None:
+        super().__init__(name)
+        if low > high:
+            raise ValueError(f"{name}: low ({low}) > high ({high})")
+        if log_scale and low <= 0:
+            raise ValueError(f"{name}: log_scale requires low > 0")
+        self.low = int(low)
+        self.high = int(high)
+        self.log_scale = log_scale
+
+    def sample(self, rng: random.Random) -> int:
+        if self.log_scale:
+            import math
+
+            lo, hi = math.log(self.low), math.log(self.high)
+            return int(round(math.exp(rng.uniform(lo, hi))))
+        return rng.randint(self.low, self.high)
+
+    def mutate(self, value: Any, rng: random.Random, strength: float = 0.3) -> int:
+        import math
+
+        value = int(value)
+        if self.log_scale:
+            factor = math.exp(rng.gauss(0.0, strength))
+            candidate = int(round(value * factor))
+        else:
+            span = max(1, int(round((self.high - self.low) * strength)))
+            candidate = value + rng.randint(-span, span)
+        return min(self.high, max(self.low, candidate))
+
+    def validate(self, value: Any) -> bool:
+        return isinstance(value, int) and self.low <= value <= self.high
+
+    def default(self) -> int:
+        return (self.low + self.high) // 2
+
+
+class FloatParameter(Parameter):
+    """A float parameter on the inclusive range [low, high]."""
+
+    def __init__(self, name: str, low: float, high: float) -> None:
+        super().__init__(name)
+        if low > high:
+            raise ValueError(f"{name}: low ({low}) > high ({high})")
+        self.low = float(low)
+        self.high = float(high)
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def mutate(self, value: Any, rng: random.Random, strength: float = 0.3) -> float:
+        span = (self.high - self.low) * strength
+        candidate = float(value) + rng.gauss(0.0, span)
+        return min(self.high, max(self.low, candidate))
+
+    def validate(self, value: Any) -> bool:
+        return isinstance(value, (int, float)) and self.low <= float(value) <= self.high
+
+    def default(self) -> float:
+        return (self.low + self.high) / 2.0
+
+
+class CategoricalParameter(Parameter):
+    """A parameter drawn from a finite unordered set of choices."""
+
+    def __init__(self, name: str, choices: Sequence[Any]) -> None:
+        super().__init__(name)
+        if not choices:
+            raise ValueError(f"{name}: choices must be non-empty")
+        self.choices: Tuple[Any, ...] = tuple(choices)
+
+    def sample(self, rng: random.Random) -> Any:
+        return rng.choice(self.choices)
+
+    def mutate(self, value: Any, rng: random.Random, strength: float = 0.3) -> Any:
+        if len(self.choices) == 1:
+            return self.choices[0]
+        # Mutation re-samples; with probability (1 - strength) keep the value.
+        if rng.random() > strength:
+            return value
+        alternatives = [c for c in self.choices if c != value]
+        return rng.choice(alternatives) if alternatives else value
+
+    def validate(self, value: Any) -> bool:
+        return value in self.choices
+
+    def default(self) -> Any:
+        return self.choices[0]
+
+
+class ConfigurationSpace:
+    """An ordered collection of named :class:`Parameter` objects."""
+
+    def __init__(self, parameters: Optional[Iterable[Parameter]] = None) -> None:
+        self._parameters: Dict[str, Parameter] = {}
+        for parameter in parameters or []:
+            self.add(parameter)
+
+    def add(self, parameter: Parameter) -> None:
+        """Add a parameter; names must be unique within the space."""
+        if parameter.name in self._parameters:
+            raise ValueError(f"duplicate parameter name: {parameter.name}")
+        self._parameters[parameter.name] = parameter
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._parameters
+
+    def __len__(self) -> int:
+        return len(self._parameters)
+
+    def __iter__(self) -> Iterator[Parameter]:
+        return iter(self._parameters.values())
+
+    def names(self) -> List[str]:
+        """Return parameter names in insertion order."""
+        return list(self._parameters)
+
+    def get(self, name: str) -> Parameter:
+        """Return the parameter called ``name``.
+
+        Raises:
+            KeyError: if no such parameter exists.
+        """
+        return self._parameters[name]
+
+    def sample(self, rng: random.Random) -> "Configuration":
+        """Draw a uniformly random configuration."""
+        values = {p.name: p.sample(rng) for p in self}
+        return Configuration(values, space=self)
+
+    def default_configuration(self) -> "Configuration":
+        """Return the configuration of per-parameter defaults."""
+        values = {p.name: p.default() for p in self}
+        return Configuration(values, space=self)
+
+    def validate(self, values: Mapping[str, Any]) -> None:
+        """Raise ``ValueError`` unless ``values`` is a complete legal assignment."""
+        missing = set(self._parameters) - set(values)
+        if missing:
+            raise ValueError(f"missing parameters: {sorted(missing)}")
+        extra = set(values) - set(self._parameters)
+        if extra:
+            raise ValueError(f"unknown parameters: {sorted(extra)}")
+        for name, parameter in self._parameters.items():
+            if not parameter.validate(values[name]):
+                raise ValueError(
+                    f"illegal value for {name!r}: {values[name]!r}"
+                )
+
+    def __repr__(self) -> str:
+        return f"ConfigurationSpace({list(self._parameters)})"
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """An immutable assignment of values to every parameter of a space.
+
+    Configurations are hashable (so they can be deduplicated in the
+    autotuner's population and used as dictionary keys for landmark
+    bookkeeping) and validated against their space at construction time.
+    """
+
+    values: Mapping[str, Any]
+    space: Optional[ConfigurationSpace] = None
+
+    def __post_init__(self) -> None:
+        frozen = dict(self.values)
+        if self.space is not None:
+            self.space.validate(frozen)
+        object.__setattr__(self, "values", frozen)
+
+    def __getitem__(self, name: str) -> Any:
+        return self.values[name]
+
+    def get(self, name: str, default: Any = None) -> Any:
+        return self.values.get(name, default)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.values
+
+    def with_updates(self, **updates: Any) -> "Configuration":
+        """Return a new configuration with some values replaced."""
+        merged = dict(self.values)
+        merged.update(updates)
+        return Configuration(merged, space=self.space)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Return a plain-dict copy of the assignment."""
+        return dict(self.values)
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted((k, _hashable(v)) for k, v in self.values.items())))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Configuration):
+            return NotImplemented
+        return dict(self.values) == dict(other.values)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in sorted(self.values.items()))
+        return f"Configuration({inner})"
+
+
+def _hashable(value: Any) -> Any:
+    """Convert lists/tuples recursively into hashable tuples."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_hashable(v) for v in value)
+    return value

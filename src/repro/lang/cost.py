@@ -1,0 +1,128 @@
+"""Deterministic work-unit cost accounting.
+
+The paper measures wall-clock execution time on a 32-core Xeon.  This
+reproduction replaces wall-clock time with a deterministic *work unit* count
+(see DESIGN.md, substitution 1): every benchmark algorithm charges abstract
+operations (comparisons, swaps, arithmetic operations, stencil updates, ...)
+to a :class:`CostCounter`.  The resulting counts play the role of execution
+time everywhere in the system -- in the autotuner's objective, in the
+performance measurements of Level 1, in the classifier-selection objective of
+Level 2, and in the reported speedups.
+
+Using operation counts rather than timers keeps the whole reproduction
+deterministic and platform independent while preserving the *relative*
+performance structure (which algorithm wins on which input, and by what
+factor) that the paper's conclusions rest on.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+
+@dataclass
+class CostCounter:
+    """Accumulates abstract work units charged by instrumented algorithms.
+
+    Attributes:
+        total: total work units charged so far.
+        by_category: per-category breakdown (e.g. ``"compare"``, ``"swap"``,
+            ``"flop"``).  Categories are free-form strings chosen by the
+            charging code.
+    """
+
+    total: float = 0.0
+    by_category: Dict[str, float] = field(default_factory=dict)
+
+    def charge(self, amount: float, category: str = "work") -> None:
+        """Charge ``amount`` work units to ``category``.
+
+        Args:
+            amount: non-negative number of work units.
+            category: free-form label for the breakdown.
+
+        Raises:
+            ValueError: if ``amount`` is negative.
+        """
+        if amount < 0:
+            raise ValueError(f"cannot charge negative cost: {amount}")
+        self.total += amount
+        self.by_category[category] = self.by_category.get(category, 0.0) + amount
+
+    def merge(self, other: "CostCounter") -> None:
+        """Fold another counter's charges into this one."""
+        self.total += other.total
+        for category, amount in other.by_category.items():
+            self.by_category[category] = (
+                self.by_category.get(category, 0.0) + amount
+            )
+
+    def reset(self) -> None:
+        """Zero the counter."""
+        self.total = 0.0
+        self.by_category.clear()
+
+    def snapshot(self) -> float:
+        """Return the current total (useful for measuring a sub-interval)."""
+        return self.total
+
+    def since(self, snapshot: float) -> float:
+        """Return work charged since a previous :meth:`snapshot`."""
+        return self.total - snapshot
+
+    def copy(self) -> "CostCounter":
+        """Return an independent copy of this counter."""
+        clone = CostCounter(total=self.total)
+        clone.by_category = dict(self.by_category)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CostCounter(total={self.total:.1f}, categories={len(self.by_category)})"
+
+
+# A module-level "current" counter lets deeply nested algorithm code charge
+# work without threading a counter argument through every helper.  The
+# benchmark drivers install a counter for the duration of a run via
+# ``scoped_counter``.
+_current: Optional[CostCounter] = None
+
+
+def current_counter() -> Optional[CostCounter]:
+    """Return the counter installed by the innermost :func:`scoped_counter`."""
+    return _current
+
+
+def charge(amount: float, category: str = "work") -> None:
+    """Charge work to the currently installed counter, if any.
+
+    Algorithm code calls this unconditionally; when no counter is installed
+    (e.g. an algorithm used stand-alone outside a benchmark run) the charge
+    is silently dropped, so the algorithms remain usable as ordinary library
+    functions.
+    """
+    if _current is not None:
+        _current.charge(amount, category)
+
+
+@contextlib.contextmanager
+def scoped_counter(counter: Optional[CostCounter] = None) -> Iterator[CostCounter]:
+    """Install ``counter`` as the current counter for the ``with`` block.
+
+    Args:
+        counter: counter to install; a fresh one is created when omitted.
+
+    Yields:
+        The installed counter, so callers can read ``counter.total`` after
+        the block.
+    """
+    global _current
+    if counter is None:
+        counter = CostCounter()
+    previous = _current
+    _current = counter
+    try:
+        yield counter
+    finally:
+        _current = previous

@@ -1,0 +1,66 @@
+"""The ``tunable`` language keyword.
+
+In PetaBricks, ``tunable double level (0.0, 1.0)`` declares a scalar that the
+autotuner is free to set anywhere in the given range.  Tunables appear both
+inside algorithm bodies (e.g. the number of ways of a merge sort) and inside
+feature extractors (e.g. the sampling ``level`` of the ``Sortedness``
+extractor in Figure 1 of the paper).
+
+A :class:`Tunable` is a thin declaration object that knows how to lower
+itself into a :class:`~repro.lang.config.Parameter` so it can participate in
+a program's configuration space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+from repro.lang.config import (
+    CategoricalParameter,
+    FloatParameter,
+    IntegerParameter,
+    Parameter,
+)
+
+Number = Union[int, float]
+
+
+@dataclass(frozen=True)
+class Tunable:
+    """Declaration of an autotuner-set scalar.
+
+    Attributes:
+        name: identifier of the tunable (unique within a program).
+        low: lower bound (inclusive).  Ignored when ``choices`` is given.
+        high: upper bound (inclusive).  Ignored when ``choices`` is given.
+        integer: whether the tunable takes integer values.
+        log_scale: for integer tunables, whether values span orders of
+            magnitude (e.g. recursion cutoffs) and should be mutated
+            multiplicatively.
+        choices: optional explicit finite set of values; when given the
+            tunable is categorical.
+    """
+
+    name: str
+    low: Number = 0.0
+    high: Number = 1.0
+    integer: bool = False
+    log_scale: bool = False
+    choices: Optional[Sequence[object]] = None
+
+    def to_parameter(self, prefix: str = "") -> Parameter:
+        """Lower this declaration into a configuration-space parameter.
+
+        Args:
+            prefix: optional namespace prefix (e.g. the owning feature
+                extractor's name) prepended as ``"{prefix}.{name}"``.
+        """
+        full_name = f"{prefix}.{self.name}" if prefix else self.name
+        if self.choices is not None:
+            return CategoricalParameter(full_name, list(self.choices))
+        if self.integer:
+            return IntegerParameter(
+                full_name, int(self.low), int(self.high), log_scale=self.log_scale
+            )
+        return FloatParameter(full_name, float(self.low), float(self.high))

@@ -1,0 +1,240 @@
+"""Cost-sensitive CART decision tree.
+
+The paper's Level-2 "Exhaustive Feature Subsets" classifiers are decision
+trees trained on candidate feature subsets; because the label space has
+``K1`` classes (one per landmark configuration) and misclassification costs
+are highly asymmetric (predicting a slightly slower landmark is cheap,
+predicting one that misses the accuracy target is catastrophic), the learning
+algorithm must honour a full ``K1 x K1`` cost matrix (Section 3.2, "Setting
+Up the Cost Matrix").
+
+This implementation is a standard binary CART on numeric features with two
+twists:
+
+* the split criterion and leaf predictions can use an explicit cost matrix
+  ``C[i, j]`` = cost of predicting ``j`` when the truth is ``i``;
+* the number of candidate thresholds per feature is capped, which keeps
+  training fast on the datasets used in the reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    """A tree node; leaves carry a prediction, internal nodes a split."""
+
+    prediction: int
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None or self.right is None
+
+
+class DecisionTreeClassifier:
+    """Binary-split decision tree with optional misclassification-cost matrix.
+
+    Args:
+        max_depth: maximum tree depth (root is depth 0).
+        min_samples_split: do not split nodes smaller than this.
+        min_samples_leaf: both children of a split must have at least this
+            many samples.
+        max_thresholds: cap on candidate thresholds per feature per node
+            (quantile-based), trading a little split optimality for speed.
+        cost_matrix: optional (n_classes, n_classes) array; entry (i, j) is
+            the cost of predicting class j for a sample of true class i.
+            When omitted, 0/1 misclassification cost (i.e. Gini-like
+            behaviour) is used.
+        random_state: seed used only to break ties deterministically.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        min_samples_split: int = 4,
+        min_samples_leaf: int = 2,
+        max_thresholds: int = 24,
+        cost_matrix: Optional[np.ndarray] = None,
+        random_state: Optional[int] = None,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_thresholds = max_thresholds
+        self.cost_matrix = None if cost_matrix is None else np.asarray(cost_matrix, dtype=float)
+        self.random_state = random_state
+        self._root: Optional[_Node] = None
+        self.n_classes_: int = 0
+        self.classes_: Optional[np.ndarray] = None
+
+    # -- public API -----------------------------------------------------
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        """Grow the tree on features ``X`` (n_samples, n_features) and labels ``y``."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=int)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if y.ndim != 1 or y.shape[0] != X.shape[0]:
+            raise ValueError("y must be 1-D and aligned with X")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+
+        self.classes_ = np.unique(y)
+        self.n_classes_ = int(self.classes_.max()) + 1
+        if self.cost_matrix is not None:
+            if self.cost_matrix.shape[0] < self.n_classes_ or self.cost_matrix.shape[1] < self.n_classes_:
+                raise ValueError(
+                    "cost_matrix is smaller than the number of classes "
+                    f"({self.cost_matrix.shape} vs {self.n_classes_})"
+                )
+        self._root = self._grow(X, y, depth=0)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict a class label for every row of ``X``."""
+        if self._root is None:
+            raise RuntimeError("classifier is not fitted")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        return np.array([self._predict_one(row) for row in X], dtype=int)
+
+    def predict_one(self, x: np.ndarray) -> int:
+        """Predict the class label of a single feature vector."""
+        if self._root is None:
+            raise RuntimeError("classifier is not fitted")
+        return self._predict_one(np.asarray(x, dtype=float))
+
+    def depth(self) -> int:
+        """Actual depth of the grown tree."""
+        if self._root is None:
+            raise RuntimeError("classifier is not fitted")
+        return self._depth_of(self._root)
+
+    def n_leaves(self) -> int:
+        """Number of leaves in the grown tree."""
+        if self._root is None:
+            raise RuntimeError("classifier is not fitted")
+        return self._count_leaves(self._root)
+
+    # -- internals ------------------------------------------------------
+
+    def _class_counts(self, y: np.ndarray) -> np.ndarray:
+        return np.bincount(y, minlength=self.n_classes_).astype(float)
+
+    def _leaf_prediction(self, counts: np.ndarray) -> int:
+        """The class minimizing expected cost under the node's distribution."""
+        if self.cost_matrix is None:
+            return int(np.argmax(counts))
+        # expected cost of predicting j = sum_i counts[i] * C[i, j]
+        expected = counts @ self.cost_matrix[: self.n_classes_, : self.n_classes_]
+        return int(np.argmin(expected))
+
+    def _node_impurity(self, counts: np.ndarray) -> float:
+        """Expected cost (or Gini impurity) of the best single prediction."""
+        total = counts.sum()
+        if total <= 0:
+            return 0.0
+        if self.cost_matrix is None:
+            probabilities = counts / total
+            return float(1.0 - np.sum(probabilities ** 2))
+        expected = counts @ self.cost_matrix[: self.n_classes_, : self.n_classes_]
+        return float(np.min(expected) / total)
+
+    def _grow(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        counts = self._class_counts(y)
+        prediction = self._leaf_prediction(counts)
+        node = _Node(prediction=prediction)
+
+        if (
+            depth >= self.max_depth
+            or y.shape[0] < self.min_samples_split
+            or np.unique(y).shape[0] <= 1
+        ):
+            return node
+
+        split = self._best_split(X, y, counts)
+        if split is None:
+            return node
+        feature, threshold = split
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(X[mask], y[mask], depth + 1)
+        node.right = self._grow(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def _best_split(
+        self, X: np.ndarray, y: np.ndarray, parent_counts: np.ndarray
+    ) -> Optional[tuple]:
+        n_samples, n_features = X.shape
+        parent_impurity = self._node_impurity(parent_counts)
+        best_gain = 1e-12
+        best: Optional[tuple] = None
+
+        for feature in range(n_features):
+            column = X[:, feature]
+            thresholds = self._candidate_thresholds(column)
+            for threshold in thresholds:
+                mask = column <= threshold
+                n_left = int(mask.sum())
+                n_right = n_samples - n_left
+                if n_left < self.min_samples_leaf or n_right < self.min_samples_leaf:
+                    continue
+                left_counts = self._class_counts(y[mask])
+                right_counts = parent_counts - left_counts
+                impurity = (
+                    n_left * self._node_impurity(left_counts)
+                    + n_right * self._node_impurity(right_counts)
+                ) / n_samples
+                gain = parent_impurity - impurity
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (feature, float(threshold))
+        return best
+
+    def _candidate_thresholds(self, column: np.ndarray) -> np.ndarray:
+        unique = np.unique(column)
+        if unique.shape[0] <= 1:
+            return np.empty(0)
+        midpoints = (unique[:-1] + unique[1:]) / 2.0
+        if midpoints.shape[0] <= self.max_thresholds:
+            return midpoints
+        quantiles = np.linspace(0.0, 1.0, self.max_thresholds + 2)[1:-1]
+        return np.unique(np.quantile(column, quantiles))
+
+    def _predict_one(self, x: np.ndarray) -> int:
+        node = self._root
+        assert node is not None
+        while not node.is_leaf:
+            if x[node.feature] <= node.threshold:
+                node = node.left  # type: ignore[assignment]
+            else:
+                node = node.right  # type: ignore[assignment]
+        return node.prediction
+
+    def _depth_of(self, node: _Node) -> int:
+        if node.is_leaf:
+            return 0
+        return 1 + max(self._depth_of(node.left), self._depth_of(node.right))  # type: ignore[arg-type]
+
+    def _count_leaves(self, node: _Node) -> int:
+        if node.is_leaf:
+            return 1
+        return self._count_leaves(node.left) + self._count_leaves(node.right)  # type: ignore[arg-type]

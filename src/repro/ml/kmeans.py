@@ -1,0 +1,158 @@
+"""K-means clustering with k-means++ seeding.
+
+Level 1 of the paper's framework groups training inputs into ``K1`` clusters
+(100 in their experiments) by running "a standard clustering algorithm (e.g.,
+K-means)" on normalized feature vectors, then autotunes the program on each
+cluster's centroid.  This module provides that clustering algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class KMeansResult:
+    """Outcome of a K-means run.
+
+    Attributes:
+        centroids: array of shape (k, n_features).
+        labels: cluster index per row of the input, shape (n_samples,).
+        inertia: sum of squared distances of samples to their centroid.
+        n_iterations: Lloyd iterations actually performed.
+    """
+
+    centroids: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    n_iterations: int
+
+    @property
+    def k(self) -> int:
+        """Number of clusters."""
+        return int(self.centroids.shape[0])
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ initialization.
+
+    Args:
+        n_clusters: requested number of clusters; automatically reduced to the
+            number of distinct points when the data cannot support more.
+        max_iterations: cap on Lloyd iterations.
+        tolerance: relative centroid-movement threshold for convergence.
+        n_init: number of independent restarts; the best (lowest inertia)
+            result is kept.
+        random_state: seed for reproducibility.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        max_iterations: int = 100,
+        tolerance: float = 1e-6,
+        n_init: int = 3,
+        random_state: Optional[int] = None,
+    ) -> None:
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be >= 1")
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        if n_init < 1:
+            raise ValueError("n_init must be >= 1")
+        self.n_clusters = n_clusters
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.n_init = n_init
+        self.random_state = random_state
+
+    def fit(self, X: np.ndarray) -> KMeansResult:
+        """Cluster the rows of ``X`` and return the best of ``n_init`` runs."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError(f"expected 2-D array, got shape {X.shape}")
+        if X.shape[0] == 0:
+            raise ValueError("cannot cluster an empty dataset")
+
+        unique_rows = np.unique(X, axis=0)
+        effective_k = min(self.n_clusters, unique_rows.shape[0])
+        rng = np.random.default_rng(self.random_state)
+
+        best: Optional[KMeansResult] = None
+        for _ in range(self.n_init):
+            result = self._fit_once(X, effective_k, rng)
+            if best is None or result.inertia < best.inertia:
+                best = result
+        assert best is not None
+        return best
+
+    # -- internals ------------------------------------------------------
+
+    def _fit_once(self, X: np.ndarray, k: int, rng: np.random.Generator) -> KMeansResult:
+        centroids = self._kmeans_plus_plus(X, k, rng)
+        labels = np.zeros(X.shape[0], dtype=int)
+        n_iterations = 0
+        for iteration in range(self.max_iterations):
+            n_iterations = iteration + 1
+            distances = _pairwise_sq_distances(X, centroids)
+            labels = np.argmin(distances, axis=1)
+            new_centroids = centroids.copy()
+            for cluster in range(k):
+                members = X[labels == cluster]
+                if members.shape[0] > 0:
+                    new_centroids[cluster] = members.mean(axis=0)
+                else:
+                    # Empty-cluster repair: re-seed at the point farthest from
+                    # its assigned centroid.
+                    farthest = int(np.argmax(distances[np.arange(X.shape[0]), labels]))
+                    new_centroids[cluster] = X[farthest]
+            movement = float(np.linalg.norm(new_centroids - centroids))
+            scale = float(np.linalg.norm(centroids)) + 1e-12
+            centroids = new_centroids
+            if movement / scale < self.tolerance:
+                break
+        distances = _pairwise_sq_distances(X, centroids)
+        labels = np.argmin(distances, axis=1)
+        inertia = float(np.sum(distances[np.arange(X.shape[0]), labels]))
+        return KMeansResult(
+            centroids=centroids,
+            labels=labels,
+            inertia=inertia,
+            n_iterations=n_iterations,
+        )
+
+    @staticmethod
+    def _kmeans_plus_plus(X: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+        """k-means++ seeding: spread initial centroids proportionally to
+        squared distance from the nearest already-chosen centroid."""
+        n_samples = X.shape[0]
+        centroids = np.empty((k, X.shape[1]), dtype=float)
+        first = int(rng.integers(n_samples))
+        centroids[0] = X[first]
+        closest_sq = np.sum((X - centroids[0]) ** 2, axis=1)
+        for i in range(1, k):
+            total = float(np.sum(closest_sq))
+            if total <= 0.0:
+                # All remaining points coincide with a centroid; pick randomly.
+                choice = int(rng.integers(n_samples))
+            else:
+                probabilities = closest_sq / total
+                choice = int(rng.choice(n_samples, p=probabilities))
+            centroids[i] = X[choice]
+            new_sq = np.sum((X - centroids[i]) ** 2, axis=1)
+            closest_sq = np.minimum(closest_sq, new_sq)
+        return centroids
+
+
+def _pairwise_sq_distances(X: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distance between every row of X and every centroid."""
+    # (a - b)^2 = a^2 + b^2 - 2ab, computed without forming the 3-D tensor.
+    x_sq = np.sum(X ** 2, axis=1)[:, None]
+    c_sq = np.sum(centroids ** 2, axis=1)[None, :]
+    cross = X @ centroids.T
+    distances = x_sq + c_sq - 2.0 * cross
+    np.maximum(distances, 0.0, out=distances)
+    return distances

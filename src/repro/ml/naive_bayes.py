@@ -1,0 +1,138 @@
+"""Discretized naive-Bayes model for the incremental-feature classifier.
+
+The paper's "Incremental Feature Examination classifier" (Section 3.2,
+method 4) divides every feature into decision regions, models the
+per-class probability of landing in each region, and at deployment time
+acquires features one at a time, updating class posteriors until one class
+exceeds a confidence threshold.
+
+This module provides the probabilistic core: per-feature, per-class
+categorical distributions over quantile-based decision regions, with Laplace
+smoothing, plus posterior updates that can be applied feature by feature.
+The deployment-time sequential logic lives in
+:mod:`repro.core.classifiers`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+class DiscretizedNaiveBayes:
+    """Per-feature decision-region likelihood model with class priors.
+
+    Args:
+        n_regions: number of decision regions per feature (quantile bins).
+        smoothing: Laplace smoothing constant added to every region count.
+    """
+
+    def __init__(self, n_regions: int = 8, smoothing: float = 1.0) -> None:
+        if n_regions < 2:
+            raise ValueError("n_regions must be >= 2")
+        if smoothing <= 0:
+            raise ValueError("smoothing must be positive")
+        self.n_regions = n_regions
+        self.smoothing = smoothing
+        self.n_classes_: int = 0
+        self.n_features_: int = 0
+        self.priors_: Optional[np.ndarray] = None
+        # bin edges per feature: list of arrays of length (n_regions - 1)
+        self.edges_: List[np.ndarray] = []
+        # likelihoods_[f][region, class] = P(feature f in region | class)
+        self.likelihoods_: List[np.ndarray] = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DiscretizedNaiveBayes":
+        """Estimate priors, decision regions, and per-region likelihoods."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=int)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if y.shape[0] != X.shape[0]:
+            raise ValueError("X and y are misaligned")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+
+        self.n_classes_ = int(y.max()) + 1
+        self.n_features_ = X.shape[1]
+
+        class_counts = np.bincount(y, minlength=self.n_classes_).astype(float)
+        self.priors_ = (class_counts + self.smoothing) / (
+            class_counts.sum() + self.smoothing * self.n_classes_
+        )
+
+        self.edges_ = []
+        self.likelihoods_ = []
+        for feature in range(self.n_features_):
+            column = X[:, feature]
+            edges = self._decision_region_edges(column)
+            regions = self._assign_regions(column, edges)
+            likelihood = np.full(
+                (len(edges) + 1, self.n_classes_), self.smoothing, dtype=float
+            )
+            np.add.at(likelihood, (regions, y), 1.0)
+            likelihood /= likelihood.sum(axis=0, keepdims=True)
+            self.edges_.append(edges)
+            self.likelihoods_.append(likelihood)
+        return self
+
+    # -- querying -------------------------------------------------------
+
+    def region_of(self, feature: int, value: float) -> int:
+        """Map a raw feature value to its decision-region index."""
+        self._check_fitted()
+        return int(np.searchsorted(self.edges_[feature], value, side="right"))
+
+    def log_likelihood(self, feature: int, value: float) -> np.ndarray:
+        """Per-class log likelihood of observing ``value`` for ``feature``."""
+        self._check_fitted()
+        region = self.region_of(feature, value)
+        return np.log(self.likelihoods_[feature][region])
+
+    def log_prior(self) -> np.ndarray:
+        """Per-class log prior probabilities."""
+        self._check_fitted()
+        assert self.priors_ is not None
+        return np.log(self.priors_)
+
+    def posterior(self, feature_values: Sequence[tuple]) -> np.ndarray:
+        """Class posterior given a set of ``(feature_index, value)`` observations.
+
+        The returned vector sums to one.  Passing an empty sequence returns
+        the prior.
+        """
+        self._check_fitted()
+        log_posterior = self.log_prior().copy()
+        for feature, value in feature_values:
+            log_posterior += self.log_likelihood(feature, value)
+        log_posterior -= log_posterior.max()
+        posterior = np.exp(log_posterior)
+        return posterior / posterior.sum()
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Maximum-a-posteriori prediction using all features."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        predictions = np.empty(X.shape[0], dtype=int)
+        for i, row in enumerate(X):
+            observations = list(enumerate(row))
+            predictions[i] = int(np.argmax(self.posterior(observations)))
+        return predictions
+
+    # -- internals ------------------------------------------------------
+
+    def _decision_region_edges(self, column: np.ndarray) -> np.ndarray:
+        """Quantile-based region edges; duplicates collapse for discrete columns."""
+        quantiles = np.linspace(0.0, 1.0, self.n_regions + 1)[1:-1]
+        edges = np.unique(np.quantile(column, quantiles))
+        return edges
+
+    @staticmethod
+    def _assign_regions(column: np.ndarray, edges: np.ndarray) -> np.ndarray:
+        return np.searchsorted(edges, column, side="right")
+
+    def _check_fitted(self) -> None:
+        if self.priors_ is None:
+            raise RuntimeError("model is not fitted")

@@ -1,0 +1,73 @@
+"""Principal component analysis.
+
+The paper argues that "standard unsupervised feature selection (e.g., PCA)
+does not solve the problem" of mapping disparity: directions of large
+variance in the predefined input-feature space need not correlate with which
+algorithmic configuration performs best.  This module provides a small PCA
+implementation so that claim can be tested directly: the
+``one_level_pca`` ablation in :mod:`repro.experiments.ablations` clusters
+inputs on the leading principal components instead of the raw features and
+compares the resulting one-level system against the two-level method.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class PCA:
+    """Principal component analysis via the covariance eigendecomposition.
+
+    Args:
+        n_components: number of components to keep; defaults to all.
+    """
+
+    def __init__(self, n_components: Optional[int] = None) -> None:
+        if n_components is not None and n_components < 1:
+            raise ValueError("n_components must be >= 1")
+        self.n_components = n_components
+        self.mean_: Optional[np.ndarray] = None
+        self.components_: Optional[np.ndarray] = None
+        self.explained_variance_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray) -> "PCA":
+        """Estimate the principal directions of the rows of ``X``."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError(f"expected 2-D array, got shape {X.shape}")
+        if X.shape[0] < 2:
+            raise ValueError("PCA needs at least two samples")
+        self.mean_ = X.mean(axis=0)
+        centered = X - self.mean_
+        covariance = centered.T @ centered / (X.shape[0] - 1)
+        eigenvalues, eigenvectors = np.linalg.eigh(covariance)
+        order = np.argsort(eigenvalues)[::-1]
+        eigenvalues = eigenvalues[order]
+        eigenvectors = eigenvectors[:, order]
+        keep = self.n_components or X.shape[1]
+        keep = min(keep, X.shape[1])
+        self.components_ = eigenvectors[:, :keep].T
+        self.explained_variance_ = np.maximum(eigenvalues[:keep], 0.0)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Project rows of ``X`` onto the kept principal components."""
+        if self.components_ is None or self.mean_ is None:
+            raise RuntimeError("PCA is not fitted")
+        X = np.asarray(X, dtype=float)
+        return (X - self.mean_) @ self.components_.T
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit then transform in one call."""
+        return self.fit(X).transform(X)
+
+    def explained_variance_ratio(self) -> np.ndarray:
+        """Fraction of total variance captured by each kept component."""
+        if self.explained_variance_ is None:
+            raise RuntimeError("PCA is not fitted")
+        total = float(self.explained_variance_.sum())
+        if total <= 0:
+            return np.zeros_like(self.explained_variance_)
+        return self.explained_variance_ / total

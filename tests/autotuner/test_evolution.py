@@ -1,0 +1,100 @@
+"""Tests for the evolutionary autotuner."""
+
+import pytest
+
+from repro.autotuner.evolution import EvolutionaryAutotuner
+from repro.lang.accuracy import AccuracyMetric, AccuracyRequirement
+from repro.lang.config import Configuration, ConfigurationSpace, IntegerParameter
+from repro.lang.cost import charge
+from repro.lang.program import PetaBricksProgram
+
+
+def quadratic_program():
+    """Cost = (x - 37)^2 + 1: a single smooth optimum the tuner must find."""
+    space = ConfigurationSpace([IntegerParameter("x", 0, 100)])
+
+    def run(config, _inp):
+        charge(float((config["x"] - 37) ** 2 + 1))
+        return config["x"]
+
+    return PetaBricksProgram("quadratic", space, run)
+
+
+def accuracy_program():
+    """Cost decreases with x but accuracy requires x >= 60."""
+    space = ConfigurationSpace([IntegerParameter("x", 0, 100)])
+
+    def run(config, _inp):
+        charge(float(config["x"]) + 1.0)
+        return config["x"]
+
+    return PetaBricksProgram(
+        "accuracy",
+        space,
+        run,
+        accuracy_metric=AccuracyMetric("x", lambda inp, out: out / 100.0),
+        accuracy_requirement=AccuracyRequirement(accuracy_threshold=0.6),
+    )
+
+
+class TestEvolutionaryAutotuner:
+    def test_finds_near_optimal_configuration(self):
+        tuner = EvolutionaryAutotuner(
+            population_size=10, offspring_per_generation=10, max_generations=20, seed=0
+        )
+        result = tuner.tune(quadratic_program(), [None])
+        assert abs(result.best_config["x"] - 37) <= 5
+        assert result.best.mean_time < 30.0
+
+    def test_improves_over_default(self):
+        program = quadratic_program()
+        tuner = EvolutionaryAutotuner(max_generations=10, seed=1)
+        result = tuner.tune(program, [None])
+        default_time = program.run(program.default_configuration(), None).time
+        assert result.best.mean_time <= default_time
+
+    def test_history_is_monotone_non_increasing(self):
+        tuner = EvolutionaryAutotuner(max_generations=12, seed=2)
+        result = tuner.tune(quadratic_program(), [None])
+        assert all(b <= a + 1e-9 for a, b in zip(result.history, result.history[1:]))
+
+    def test_respects_accuracy_requirement(self):
+        tuner = EvolutionaryAutotuner(max_generations=15, seed=3)
+        result = tuner.tune(accuracy_program(), [None])
+        assert result.best.meets_accuracy
+        assert result.best_config["x"] >= 60
+
+    def test_deterministic_given_seed(self):
+        tuner_a = EvolutionaryAutotuner(max_generations=8, seed=11)
+        tuner_b = EvolutionaryAutotuner(max_generations=8, seed=11)
+        assert (
+            tuner_a.tune(quadratic_program(), [None]).best_config
+            == tuner_b.tune(quadratic_program(), [None]).best_config
+        )
+
+    def test_initial_configs_are_seeded(self):
+        program = quadratic_program()
+        optimum = Configuration({"x": 37}, space=program.config_space)
+        tuner = EvolutionaryAutotuner(max_generations=1, stall_generations=1, seed=4)
+        result = tuner.tune(program, [None], initial_configs=[optimum])
+        assert result.best.mean_time <= 1.0 + 1e-9
+
+    def test_early_stop_on_stall(self):
+        tuner = EvolutionaryAutotuner(
+            max_generations=100, stall_generations=2, seed=5
+        )
+        result = tuner.tune(quadratic_program(), [None])
+        assert result.generations < 100
+
+    def test_evaluation_count_reported(self):
+        tuner = EvolutionaryAutotuner(max_generations=3, stall_generations=99, seed=6)
+        result = tuner.tune(quadratic_program(), [None])
+        assert result.evaluations > 0
+
+    def test_bad_constructor_args(self):
+        with pytest.raises(ValueError):
+            EvolutionaryAutotuner(population_size=1)
+        with pytest.raises(ValueError):
+            EvolutionaryAutotuner(offspring_per_generation=0)
+        with pytest.raises(ValueError):
+            EvolutionaryAutotuner(max_generations=0)

@@ -1,0 +1,91 @@
+"""Tests for configuration mutation and crossover operators."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autotuner.mutators import crossover_configurations, mutate_configuration
+from repro.lang.config import (
+    CategoricalParameter,
+    Configuration,
+    ConfigurationSpace,
+    FloatParameter,
+    IntegerParameter,
+)
+
+
+def make_space():
+    return ConfigurationSpace(
+        [
+            IntegerParameter("cutoff", 1, 100),
+            FloatParameter("weight", 0.0, 1.0),
+            CategoricalParameter("algo", ["a", "b", "c"]),
+        ]
+    )
+
+
+class TestMutation:
+    def test_mutation_produces_valid_configuration(self, rng):
+        space = make_space()
+        config = space.default_configuration()
+        for _ in range(100):
+            config = mutate_configuration(config, space, rng)
+            space.validate(config.as_dict())
+
+    def test_mutation_changes_something_eventually(self, rng):
+        space = make_space()
+        config = space.default_configuration()
+        changed = any(
+            mutate_configuration(config, space, rng) != config for _ in range(20)
+        )
+        assert changed
+
+    def test_empty_space_is_noop(self, rng):
+        space = ConfigurationSpace()
+        config = Configuration({}, space=space)
+        assert mutate_configuration(config, space, rng) == config
+
+
+class TestCrossover:
+    def test_children_are_valid(self, rng):
+        space = make_space()
+        first = space.sample(rng)
+        second = space.sample(rng)
+        child_a, child_b = crossover_configurations(first, second, space, rng)
+        space.validate(child_a.as_dict())
+        space.validate(child_b.as_dict())
+
+    def test_children_values_come_from_parents(self, rng):
+        space = make_space()
+        first = space.sample(rng)
+        second = space.sample(rng)
+        child_a, child_b = crossover_configurations(first, second, space, rng)
+        for name in space.names():
+            parent_values = {first[name], second[name]}
+            assert child_a[name] in parent_values
+            assert child_b[name] in parent_values
+
+    def test_crossover_conserves_multiset_per_parameter(self, rng):
+        space = make_space()
+        first = space.sample(rng)
+        second = space.sample(rng)
+        child_a, child_b = crossover_configurations(first, second, space, rng)
+        for name in space.names():
+            assert sorted([str(child_a[name]), str(child_b[name])]) == sorted(
+                [str(first[name]), str(second[name])]
+            )
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 10_000), steps=st.integers(1, 15))
+def test_property_mutation_chain_valid(seed, steps):
+    """Property: arbitrary chains of mutation and crossover keep configs legal."""
+    space = make_space()
+    rng = random.Random(seed)
+    a, b = space.sample(rng), space.sample(rng)
+    for _ in range(steps):
+        a = mutate_configuration(a, space, rng)
+        a, b = crossover_configurations(a, b, space, rng)
+    space.validate(a.as_dict())
+    space.validate(b.as_dict())

@@ -1,0 +1,45 @@
+"""Tests for the random-search baseline tuner."""
+
+import pytest
+
+from repro.autotuner.random_search import RandomSearchTuner
+from repro.lang.config import Configuration, ConfigurationSpace, IntegerParameter
+from repro.lang.cost import charge
+from repro.lang.program import PetaBricksProgram
+
+
+def make_program():
+    space = ConfigurationSpace([IntegerParameter("x", 0, 50)])
+
+    def run(config, _inp):
+        charge(float(config["x"]) + 1.0)
+        return None
+
+    return PetaBricksProgram("linear", space, run)
+
+
+class TestRandomSearchTuner:
+    def test_finds_low_cost_configuration(self):
+        result = RandomSearchTuner(n_samples=100, seed=0).tune(make_program(), [None])
+        assert result.best_config["x"] <= 5
+
+    def test_history_is_monotone(self):
+        result = RandomSearchTuner(n_samples=50, seed=1).tune(make_program(), [None])
+        assert all(b <= a + 1e-9 for a, b in zip(result.history, result.history[1:]))
+
+    def test_seeded_configs_considered(self):
+        program = make_program()
+        best = Configuration({"x": 0}, space=program.config_space)
+        result = RandomSearchTuner(n_samples=1, seed=2).tune(
+            program, [None], initial_configs=[best]
+        )
+        assert result.best_config["x"] == 0
+
+    def test_deterministic_given_seed(self):
+        first = RandomSearchTuner(n_samples=20, seed=3).tune(make_program(), [None])
+        second = RandomSearchTuner(n_samples=20, seed=3).tune(make_program(), [None])
+        assert first.best_config == second.best_config
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            RandomSearchTuner(n_samples=0)

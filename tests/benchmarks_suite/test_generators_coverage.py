@@ -1,0 +1,73 @@
+"""Cross-benchmark checks on the input generators.
+
+The two-level method only works if the input populations genuinely exercise
+different algorithmic regimes.  These tests check, for every benchmark, that
+its generators produce (a) deterministic, well-formed inputs, and (b) real
+heterogeneity: the best landmark-free algorithmic choice differs across
+inputs, and the feature extractors spread the population out rather than
+collapsing it to a point.
+"""
+
+import numpy as np
+import pytest
+
+from repro.benchmarks_suite import get_benchmark
+from repro.benchmarks_suite.base import registry
+
+ALL_TESTS = sorted(registry())
+
+
+@pytest.mark.parametrize("test_name", ALL_TESTS)
+def test_generators_are_deterministic(test_name):
+    variant = get_benchmark(test_name)
+    first = variant.benchmark.generate_inputs(4, variant.variant, seed=11)
+    second = variant.benchmark.generate_inputs(4, variant.variant, seed=11)
+    program = variant.benchmark.program
+    for a, b in zip(first, second):
+        va, _ = program.features.extract_vector(a)
+        vb, _ = program.features.extract_vector(b)
+        assert np.allclose(va, vb)
+
+
+@pytest.mark.parametrize("test_name", ALL_TESTS)
+def test_feature_vectors_are_finite_and_heterogeneous(test_name):
+    variant = get_benchmark(test_name)
+    program = variant.benchmark.program
+    inputs = variant.benchmark.generate_inputs(10, variant.variant, seed=3)
+    vectors = np.array([program.features.extract_vector(x)[0] for x in inputs])
+    assert np.all(np.isfinite(vectors))
+    # At least one feature must vary across the population, otherwise the
+    # Level-1 clustering would be meaningless.
+    assert np.any(vectors.std(axis=0) > 1e-9)
+
+
+@pytest.mark.parametrize("test_name", ALL_TESTS)
+def test_extraction_costs_increase_with_level(test_name):
+    """For at least one property the higher sampling level costs more."""
+    variant = get_benchmark(test_name)
+    program = variant.benchmark.program
+    sample = variant.benchmark.generate_inputs(1, variant.variant, seed=5)[0]
+    increased = False
+    for extractor in program.features:
+        if extractor.levels < 2:
+            continue
+        cheap = extractor.extract(sample, 0).cost
+        expensive = extractor.extract(sample, extractor.levels - 1).cost
+        if expensive > cheap:
+            increased = True
+    assert increased
+
+
+@pytest.mark.parametrize("test_name", ALL_TESTS)
+def test_different_configurations_have_different_costs(test_name):
+    """Sampling a handful of random configurations on one input must produce a
+    spread of execution costs -- otherwise there is nothing to autotune."""
+    variant = get_benchmark(test_name)
+    program = variant.benchmark.program
+    sample = variant.benchmark.generate_inputs(1, variant.variant, seed=7)[0]
+    rng = __import__("random").Random(0)
+    times = []
+    for _ in range(6):
+        config = program.config_space.sample(rng)
+        times.append(program.run(config, sample).time)
+    assert max(times) > min(times)

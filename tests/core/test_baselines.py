@@ -1,0 +1,79 @@
+"""Tests for the Static Oracle, Dynamic Oracle, and One-Level baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import DynamicOracle, OneLevelLearning, StaticOracle
+
+
+class TestStaticOracle:
+    def test_picks_best_mean_landmark(self, sort_training):
+        training = sort_training["training"]
+        dataset = training.dataset
+        oracle = StaticOracle().fit(dataset, range(dataset.n_inputs))
+        mean_times = dataset.times.mean(axis=0)
+        assert oracle.chosen_landmark_ == int(np.argmin(mean_times))
+
+    def test_evaluation_uses_single_landmark(self, sort_training):
+        training = sort_training["training"]
+        dataset = training.dataset
+        oracle = StaticOracle().fit(dataset, training.level2.train_rows)
+        evaluation = oracle.evaluate(dataset, training.level2.test_rows)
+        assert len(set(evaluation.labels.tolist())) == 1
+        assert np.allclose(evaluation.times, evaluation.times_no_extraction)
+
+    def test_unfitted_raises(self, sort_training):
+        dataset = sort_training["training"].dataset
+        with pytest.raises(RuntimeError):
+            StaticOracle().evaluate(dataset, range(4))
+
+
+class TestDynamicOracle:
+    def test_oracle_never_slower_than_any_single_landmark(self, sort_training):
+        dataset = sort_training["training"].dataset
+        rows = np.arange(dataset.n_inputs)
+        oracle_times = DynamicOracle().evaluate(dataset, rows).times
+        for j in range(dataset.n_landmarks):
+            # For fixed-accuracy programs the oracle picks per-input minima.
+            assert np.all(oracle_times <= dataset.times[rows, j] + 1e-9)
+
+    def test_oracle_at_least_as_good_as_static(self, sort_training):
+        training = sort_training["training"]
+        dataset = training.dataset
+        rows = training.level2.test_rows
+        static = StaticOracle().fit(dataset, training.level2.train_rows).evaluate(dataset, rows)
+        dynamic = DynamicOracle().evaluate(dataset, rows)
+        assert dynamic.times.mean() <= static.times.mean() + 1e-9
+
+    def test_satisfaction_reported(self, binpacking_training):
+        training = binpacking_training["training"]
+        evaluation = DynamicOracle().evaluate(training.dataset, training.level2.test_rows)
+        assert 0.0 <= evaluation.satisfaction_rate <= 1.0
+
+
+class TestOneLevelLearning:
+    def test_times_include_full_extraction_cost(self, sort_training):
+        training = sort_training["training"]
+        dataset = training.dataset
+        rows = training.level2.test_rows
+        one_level = OneLevelLearning(training.level1).evaluate(dataset, rows)
+        expected_extra = dataset.extraction_costs[rows].sum(axis=1)
+        assert np.allclose(one_level.times, one_level.times_no_extraction + expected_extra)
+
+    def test_labels_come_from_cluster_landmarks(self, sort_training):
+        training = sort_training["training"]
+        dataset = training.dataset
+        rows = training.level2.test_rows
+        one_level = OneLevelLearning(training.level1).evaluate(dataset, rows)
+        allowed = set(training.level1.cluster_to_landmark)
+        assert set(one_level.labels.tolist()) <= allowed
+
+    def test_one_level_never_beats_dynamic_oracle_in_execution_time(self, sort_training):
+        """Without extraction cost, the one-level choice can at best match the
+        per-input optimum (for the fixed-accuracy sort benchmark)."""
+        training = sort_training["training"]
+        dataset = training.dataset
+        rows = training.level2.test_rows
+        one_level = OneLevelLearning(training.level1).evaluate(dataset, rows)
+        dynamic = DynamicOracle().evaluate(dataset, rows)
+        assert np.all(one_level.times_no_extraction >= dynamic.times - 1e-9)

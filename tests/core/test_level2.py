@@ -1,0 +1,162 @@
+"""Tests for the Level-2 pipeline (labels, cost matrix, classifier zoo)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import PerformanceDataset
+from repro.core.level2 import (
+    Level2Config,
+    build_cost_matrix,
+    compute_labels,
+    enumerate_feature_subsets,
+    run_level2,
+    train_classifier_zoo,
+)
+from repro.lang.accuracy import AccuracyRequirement
+from repro.lang.config import Configuration
+
+
+def synthetic_dataset(n=80, seed=0, variable_accuracy=False):
+    """A dataset where the best landmark is decided by feature a@0.
+
+    Landmark 0 is fast on inputs with a@0 < 0 and slow otherwise; landmark 1
+    is the reverse; landmark 2 is a mediocre-but-safe middle choice.  For the
+    variable-accuracy variant, landmark 0 is also inaccurate on a@0 >= 0.
+    """
+    rng = np.random.default_rng(seed)
+    feature_names = ["a@0", "a@1", "b@0", "b@1"]
+    a = rng.normal(size=n)
+    features = np.column_stack([a, a + rng.normal(scale=0.05, size=n), rng.normal(size=n), rng.normal(size=n)])
+    extraction_costs = np.full((n, 4), 1.0)
+    extraction_costs[:, 1] = 5.0
+    extraction_costs[:, 3] = 5.0
+
+    times = np.empty((n, 3))
+    times[:, 0] = np.where(a < 0, 10.0, 100.0)
+    times[:, 1] = np.where(a < 0, 100.0, 10.0)
+    times[:, 2] = 40.0
+    accuracies = np.ones((n, 3))
+    if variable_accuracy:
+        accuracies[:, 0] = np.where(a < 0, 1.0, 0.0)
+        accuracies[:, 1] = np.where(a < 0, 0.0, 1.0)
+    requirement = (
+        AccuracyRequirement(accuracy_threshold=0.5)
+        if variable_accuracy
+        else AccuracyRequirement.disabled()
+    )
+    return PerformanceDataset(
+        feature_names=feature_names,
+        features=features,
+        extraction_costs=extraction_costs,
+        times=times,
+        accuracies=accuracies,
+        landmarks=[Configuration({"id": i}) for i in range(3)],
+        requirement=requirement,
+    )
+
+
+class TestLabelsAndCostMatrix:
+    def test_labels_follow_feature_structure(self):
+        dataset = synthetic_dataset()
+        labels = compute_labels(dataset)
+        a = dataset.features[:, 0]
+        assert np.all(labels[a < 0] == 0)
+        assert np.all(labels[a >= 0] == 1)
+
+    def test_cost_matrix_diagonal_zero_and_nonnegative(self):
+        dataset = synthetic_dataset(variable_accuracy=True)
+        labels = compute_labels(dataset)
+        cost = build_cost_matrix(dataset, labels)
+        assert cost.shape == (3, 3)
+        assert np.allclose(np.diag(cost), 0.0)
+        assert np.all(cost >= 0.0)
+
+    def test_accuracy_violating_landmark_costs_more_than_safe_one(self):
+        dataset = synthetic_dataset(variable_accuracy=True)
+        labels = compute_labels(dataset)
+        cost = build_cost_matrix(dataset, labels, accuracy_cost_weight=0.5)
+        # For inputs labelled 0 (a < 0): landmark 1 is inaccurate AND slow,
+        # landmark 2 is accurate and mildly slow -> misclassifying to 1 must
+        # cost more than misclassifying to 2.
+        assert cost[0, 1] > cost[0, 2]
+
+    def test_faster_but_inaccurate_landmark_not_rewarded(self):
+        """The clamping rule: a landmark faster than the label landmark must
+        not produce a negative cost."""
+        dataset = synthetic_dataset(variable_accuracy=True)
+        labels = compute_labels(dataset)
+        cost = build_cost_matrix(dataset, labels)
+        assert cost.min() >= 0.0
+
+    def test_higher_lambda_raises_accuracy_penalties(self):
+        dataset = synthetic_dataset(variable_accuracy=True)
+        labels = compute_labels(dataset)
+        light = build_cost_matrix(dataset, labels, accuracy_cost_weight=0.5)
+        heavy = build_cost_matrix(dataset, labels, accuracy_cost_weight=4.0)
+        assert heavy[0, 1] > light[0, 1]
+
+
+class TestSubsetEnumeration:
+    def test_full_enumeration_size(self):
+        dataset = synthetic_dataset()
+        subsets = enumerate_feature_subsets(dataset, max_subsets=1000)
+        # 2 properties x 2 levels -> (2+1)^2 - 1 = 8 non-empty subsets.
+        assert len(subsets) == 8
+        assert all(len(subset) >= 1 for subset in subsets)
+
+    def test_at_most_one_level_per_property(self):
+        dataset = synthetic_dataset()
+        for subset in enumerate_feature_subsets(dataset, max_subsets=1000):
+            properties = [name.rpartition("@")[0] for name in subset]
+            assert len(properties) == len(set(properties))
+
+    def test_sampling_respects_cap(self):
+        dataset = synthetic_dataset()
+        subsets = enumerate_feature_subsets(dataset, max_subsets=4, seed=1)
+        assert len(subsets) == 4
+
+    def test_sampling_is_deterministic(self):
+        dataset = synthetic_dataset()
+        assert enumerate_feature_subsets(dataset, 4, seed=2) == enumerate_feature_subsets(dataset, 4, seed=2)
+
+
+class TestZooAndRunLevel2:
+    def test_zoo_contains_all_families(self):
+        dataset = synthetic_dataset()
+        labels = compute_labels(dataset)
+        cost = build_cost_matrix(dataset, labels)
+        zoo = train_classifier_zoo(dataset, labels, range(40), cost, Level2Config(max_subsets=8))
+        methods = {classifier.description.method for classifier in zoo}
+        assert {"max_apriori", "decision_tree", "all_features", "incremental"} <= methods
+
+    def test_run_level2_selects_low_cost_valid_classifier(self):
+        dataset = synthetic_dataset(n=120)
+        result = run_level2(dataset, range(60), range(60, 120), config=Level2Config(max_subsets=16))
+        assert result.production.valid
+        # The selected classifier should achieve close to the oracle cost of 10
+        # (plus 1 unit of cheap feature extraction); the static best is 40.
+        assert result.production.performance_cost < 30.0
+
+    def test_run_level2_variable_accuracy_production_is_valid(self):
+        dataset = synthetic_dataset(n=120, variable_accuracy=True)
+        result = run_level2(dataset, range(60), range(60, 120), config=Level2Config(max_subsets=16))
+        assert result.production.satisfaction_rate >= 0.9
+
+    def test_relabel_shift_computed_when_cluster_info_given(self):
+        dataset = synthetic_dataset(n=40)
+        cluster_labels = np.zeros(40, dtype=int)
+        result = run_level2(
+            dataset,
+            range(20),
+            range(20, 40),
+            config=Level2Config(max_subsets=4),
+            level1_cluster_labels=cluster_labels,
+            cluster_to_landmark=[2],
+        )
+        assert result.relabel_shift is not None
+        assert 0.0 <= result.relabel_shift <= 1.0
+
+    def test_empty_split_rejected(self):
+        dataset = synthetic_dataset(n=20)
+        with pytest.raises(ValueError):
+            run_level2(dataset, [], range(20))

@@ -1,0 +1,83 @@
+"""Tests for the Section 4.3 theoretical model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import (
+    expected_speedup_loss,
+    fraction_of_full_speedup,
+    loss_curve,
+    worst_case_loss,
+    worst_case_region_size,
+)
+
+
+class TestExpectedLoss:
+    def test_no_loss_at_region_size_extremes(self):
+        assert expected_speedup_loss([0.0], 5) == pytest.approx(0.0)
+        assert expected_speedup_loss([1.0], 5) == pytest.approx(0.0)
+
+    def test_loss_decreases_with_more_landmarks(self):
+        losses = [expected_speedup_loss([0.2, 0.3], k) for k in (1, 2, 5, 10, 50)]
+        assert all(b < a for a, b in zip(losses, losses[1:]))
+
+    def test_speedup_weights_scale_contributions(self):
+        uniform = expected_speedup_loss([0.5, 0.01], 3, speedups=[1.0, 1.0])
+        weighted = expected_speedup_loss([0.5, 0.01], 3, speedups=[100.0, 1.0])
+        assert weighted > uniform
+
+    def test_bad_arguments(self):
+        with pytest.raises(ValueError):
+            expected_speedup_loss([1.5], 3)
+        with pytest.raises(ValueError):
+            expected_speedup_loss([0.5], -1)
+        with pytest.raises(ValueError):
+            expected_speedup_loss([0.5], 3, speedups=[1.0, 2.0])
+
+
+class TestWorstCase:
+    def test_worst_case_region_size_formula(self):
+        assert worst_case_region_size(1) == pytest.approx(0.5)
+        assert worst_case_region_size(9) == pytest.approx(0.1)
+
+    def test_worst_case_is_the_maximizer(self):
+        for k in (2, 5, 9):
+            worst = worst_case_region_size(k)
+            curve = loss_curve(np.linspace(0.001, 0.999, 999), k)
+            assert worst_case_loss(k) >= curve.max() - 1e-9
+
+    def test_loss_curve_is_unimodal_shape(self):
+        curve = loss_curve(np.linspace(0, 1, 101), 4)
+        peak = int(np.argmax(curve))
+        assert np.all(np.diff(curve[: peak + 1]) >= -1e-12)
+        assert np.all(np.diff(curve[peak:]) <= 1e-12)
+
+
+class TestFractionOfFullSpeedup:
+    def test_monotonically_increasing_in_landmarks(self):
+        ks = np.arange(1, 101)
+        fractions = fraction_of_full_speedup(ks)
+        assert np.all(np.diff(fractions) >= 0.0)
+
+    def test_diminishing_returns(self):
+        """The marginal gain of adding landmarks shrinks (the paper's message)."""
+        fractions = fraction_of_full_speedup([10, 20, 30, 90, 100])
+        gain_early = fractions[1] - fractions[0]
+        gain_late = fractions[4] - fractions[3]
+        assert gain_late < gain_early
+
+    def test_approaches_one(self):
+        assert fraction_of_full_speedup([500])[0] > 0.99
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    p=st.floats(min_value=0.0, max_value=1.0),
+    k=st.integers(min_value=0, max_value=200),
+)
+def test_property_loss_bounded(p, k):
+    """Property: the per-region loss is always within [0, 1]."""
+    value = float(loss_curve(np.array([p]), k)[0])
+    assert 0.0 <= value <= 1.0

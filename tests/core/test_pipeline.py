@@ -1,0 +1,80 @@
+"""Tests for the end-to-end InputAwareLearning pipeline and DeployedProgram."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import DeployedProgram, InputAwareLearning
+from repro.core.level1 import Level1Config
+
+
+class TestTrainingResult:
+    def test_structure(self, sort_training):
+        training = sort_training["training"]
+        assert training.dataset.n_inputs == len(sort_training["inputs"])
+        assert len(training.landmarks) == training.dataset.n_landmarks
+        assert training.production_classifier is training.level2.production.classifier
+        assert set(training.train_rows).isdisjoint(set(training.test_rows))
+
+    def test_production_classifier_evaluated_on_test_rows(self, sort_training):
+        training = sort_training["training"]
+        assert training.level2.production in training.level2.evaluations
+
+
+class TestDeployedProgram:
+    def test_run_produces_correct_output(self, sort_training):
+        training = sort_training["training"]
+        data = sort_training["inputs"][0]
+        outcome = training.deployed.run(data)
+        assert np.array_equal(outcome.result.output, np.sort(data))
+        assert outcome.total_time == pytest.approx(
+            outcome.result.time + outcome.feature_extraction_cost
+        )
+        assert 0 <= outcome.landmark_index < len(training.landmarks)
+
+    def test_selected_configuration_is_a_landmark(self, sort_training):
+        training = sort_training["training"]
+        config, index, cost = training.deployed.select_configuration(
+            sort_training["inputs"][1]
+        )
+        assert config == training.landmarks[index]
+        assert cost >= 0.0
+
+    def test_deployment_on_unseen_inputs(self, sort_training):
+        training = sort_training["training"]
+        variant = sort_training["variant"]
+        fresh = variant.benchmark.generate_inputs(3, variant.variant, seed=999)
+        for data in fresh:
+            outcome = training.deployed.run(data)
+            assert np.array_equal(outcome.result.output, np.sort(data))
+
+    def test_requires_landmarks(self, sort_training):
+        training = sort_training["training"]
+        with pytest.raises(ValueError):
+            DeployedProgram(training.deployed.program, [], training.production_classifier)
+
+
+class TestInputAwareLearningValidation:
+    def test_rejects_too_few_inputs(self, sort_training):
+        variant = sort_training["variant"]
+        learner = InputAwareLearning()
+        with pytest.raises(ValueError):
+            learner.fit(variant.benchmark.program, variant.benchmark.generate_inputs(2, variant.variant))
+
+    def test_rejects_bad_test_fraction(self):
+        with pytest.raises(ValueError):
+            InputAwareLearning(test_fraction=1.5)
+
+    def test_variable_accuracy_pipeline_trains(self, binpacking_training):
+        training = binpacking_training["training"]
+        assert training.dataset.requirement.enabled
+        outcome = training.deployed.run(binpacking_training["inputs"][0])
+        assert outcome.result.accuracy > 0.0
+
+    def test_custom_level1_config_respected(self, sort_training):
+        variant = sort_training["variant"]
+        inputs = variant.benchmark.generate_inputs(12, variant.variant, seed=5)
+        learner = InputAwareLearning(
+            level1_config=Level1Config(n_clusters=2, tuner_generations=1, tuner_population=4),
+        )
+        training = learner.fit(variant.benchmark.program, inputs)
+        assert len(training.level1.cluster_to_landmark) == 2

@@ -1,0 +1,61 @@
+"""Tests for the in-text ablation drivers."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    LandmarkSelectionAblation,
+    landmark_selection_ablation,
+    pca_clustering_ablation,
+    relabel_shift,
+)
+from repro.experiments.runner import ExperimentConfig, run_experiment
+
+TINY = ExperimentConfig(
+    n_inputs=24,
+    n_clusters=4,
+    tuner_generations=2,
+    tuner_population=5,
+    tuning_neighbors=2,
+    max_subsets=8,
+    seed=3,
+)
+
+
+@pytest.fixture(scope="module")
+def sort_result():
+    return run_experiment("sort2", TINY)
+
+
+class TestLandmarkSelectionAblation:
+    def test_both_speedups_positive(self, sort_result):
+        ablation = landmark_selection_ablation(
+            sort_result, n_landmarks=3, tuner_generations=2, tuner_population=5
+        )
+        assert ablation.kmeans_speedup > 0
+        assert ablation.random_speedup > 0
+
+    def test_degradation_definition(self):
+        ablation = LandmarkSelectionAblation(kmeans_speedup=2.0, random_speedup=1.5)
+        assert ablation.degradation == pytest.approx(0.25)
+        assert LandmarkSelectionAblation(0.0, 1.0).degradation == 0.0
+
+
+class TestPcaClusteringAblation:
+    def test_speedups_positive_and_comparable(self, sort_result):
+        ablation = pca_clustering_ablation(sort_result, n_components=2, seed=0)
+        assert ablation.pca_speedup > 0
+        assert ablation.two_level_speedup > 0
+
+    def test_component_count_capped(self, sort_result):
+        ablation = pca_clustering_ablation(sort_result, n_components=999, seed=0)
+        assert ablation.pca_speedup > 0
+
+
+class TestRelabelShift:
+    def test_reported_and_bounded(self, sort_result):
+        shift = relabel_shift(sort_result)
+        assert shift is not None
+        assert 0.0 <= shift <= 1.0
+
+    def test_level2_records_the_statistic(self, sort_result):
+        assert sort_result.training.level2.relabel_shift == relabel_shift(sort_result)

@@ -1,0 +1,75 @@
+"""Tests for the shared experiment runner."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import ExperimentConfig, run_experiment
+
+#: A deliberately tiny configuration so experiment tests stay fast.
+TINY = ExperimentConfig(
+    n_inputs=28,
+    n_clusters=4,
+    tuner_generations=2,
+    tuner_population=5,
+    tuning_neighbors=2,
+    max_subsets=12,
+    seed=0,
+)
+
+
+@pytest.fixture(scope="module")
+def sort_result():
+    return run_experiment("sort2", TINY)
+
+
+class TestRunExperiment:
+    def test_all_methods_present(self, sort_result):
+        assert set(sort_result.methods) == {
+            "static_oracle",
+            "dynamic_oracle",
+            "two_level",
+            "one_level",
+        }
+
+    def test_per_input_series_aligned_with_test_rows(self, sort_result):
+        n_test = len(sort_result.test_rows)
+        for outcome in sort_result.methods.values():
+            assert outcome.times.shape == (n_test,)
+            assert outcome.times_no_extraction.shape == (n_test,)
+
+    def test_static_oracle_speedup_is_one(self, sort_result):
+        assert sort_result.mean_speedup("static_oracle") == pytest.approx(1.0)
+
+    def test_dynamic_oracle_dominates_every_method(self, sort_result):
+        dynamic = sort_result.methods["dynamic_oracle"].times
+        for name in ("static_oracle", "two_level", "one_level"):
+            others = sort_result.methods[name].times_no_extraction
+            assert np.all(dynamic <= others + 1e-9)
+
+    def test_dynamic_oracle_mean_speedup_at_least_one(self, sort_result):
+        assert sort_result.mean_speedup("dynamic_oracle") >= 1.0 - 1e-9
+
+    def test_extraction_cost_only_hurts(self, sort_result):
+        for name in ("two_level", "one_level"):
+            with_cost = sort_result.mean_speedup(name, with_extraction=True)
+            without_cost = sort_result.mean_speedup(name, with_extraction=False)
+            assert with_cost <= without_cost + 1e-9
+
+    def test_satisfaction_in_unit_interval(self, sort_result):
+        for name in sort_result.methods:
+            assert 0.0 <= sort_result.satisfaction(name) <= 1.0
+
+    def test_sort_satisfaction_is_trivially_full(self, sort_result):
+        """Sort is the fixed-accuracy benchmark: everything is accurate."""
+        assert sort_result.satisfaction("two_level") == 1.0
+        assert sort_result.satisfaction("one_level") == 1.0
+
+    def test_unknown_test_name_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("bogus", TINY)
+
+    def test_config_materialization(self):
+        config = ExperimentConfig(n_clusters=7, tuner_generations=3, max_subsets=5)
+        assert config.level1().n_clusters == 7
+        assert config.level1().tuner_generations == 3
+        assert config.level2().max_subsets == 5

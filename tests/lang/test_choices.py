@@ -1,0 +1,62 @@
+"""Tests for the either...or choice-site construct."""
+
+import pytest
+
+from repro.lang.choices import Choice, ChoiceSite
+
+
+class TestChoice:
+    def test_call_forwards_to_function(self):
+        choice = Choice("double", lambda x: 2 * x)
+        assert choice(21) == 42
+
+    def test_terminal_flag_defaults_false(self):
+        assert not Choice("x", lambda: None).terminal
+
+
+class TestChoiceSite:
+    def test_requires_name(self):
+        with pytest.raises(ValueError):
+            ChoiceSite("")
+
+    def test_add_and_lookup(self):
+        site = ChoiceSite("s")
+        choice = Choice("a", lambda: 1)
+        site.add(choice)
+        assert site.get("a") is choice
+        assert "a" in site
+        assert len(site) == 1
+
+    def test_duplicate_names_rejected(self):
+        site = ChoiceSite("s", [Choice("a", lambda: 1)])
+        with pytest.raises(ValueError):
+            site.add(Choice("a", lambda: 2))
+
+    def test_names_preserve_registration_order(self):
+        site = ChoiceSite("s", [Choice("b", lambda: 1), Choice("a", lambda: 2)])
+        assert site.names == ("b", "a")
+
+    def test_terminal_names(self):
+        site = ChoiceSite(
+            "s",
+            [
+                Choice("base", lambda: 1, terminal=True),
+                Choice("recursive", lambda: 2),
+            ],
+        )
+        assert site.terminal_names == ("base",)
+
+    def test_alternative_decorator_registers(self):
+        site = ChoiceSite("s")
+
+        @site.alternative("doubler", terminal=True)
+        def doubler(x):
+            return 2 * x
+
+        assert "doubler" in site
+        assert site.get("doubler")(4) == 8
+        assert site.terminal_names == ("doubler",)
+
+    def test_unknown_lookup_raises(self):
+        with pytest.raises(KeyError):
+            ChoiceSite("s").get("missing")

@@ -1,0 +1,200 @@
+"""Tests for configuration spaces, parameters, and configurations."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang.config import (
+    CategoricalParameter,
+    Configuration,
+    ConfigurationSpace,
+    FloatParameter,
+    IntegerParameter,
+)
+
+
+class TestIntegerParameter:
+    def test_sample_within_bounds(self, rng):
+        parameter = IntegerParameter("p", 3, 17)
+        for _ in range(100):
+            value = parameter.sample(rng)
+            assert 3 <= value <= 17
+
+    def test_log_scale_sample_within_bounds(self, rng):
+        parameter = IntegerParameter("p", 2, 100_000, log_scale=True)
+        for _ in range(100):
+            assert 2 <= parameter.sample(rng) <= 100_000 * 1.01
+
+    def test_mutate_stays_in_bounds(self, rng):
+        parameter = IntegerParameter("p", 0, 10)
+        value = 5
+        for _ in range(100):
+            value = parameter.mutate(value, rng)
+            assert 0 <= value <= 10
+
+    def test_validate(self):
+        parameter = IntegerParameter("p", 0, 10)
+        assert parameter.validate(0)
+        assert parameter.validate(10)
+        assert not parameter.validate(11)
+        assert not parameter.validate(3.5)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            IntegerParameter("p", 10, 3)
+        with pytest.raises(ValueError):
+            IntegerParameter("p", 0, 10, log_scale=True)
+
+    def test_default_is_valid(self):
+        parameter = IntegerParameter("p", 3, 17)
+        assert parameter.validate(parameter.default())
+
+
+class TestFloatParameter:
+    def test_sample_within_bounds(self, rng):
+        parameter = FloatParameter("f", -1.0, 1.0)
+        for _ in range(100):
+            assert -1.0 <= parameter.sample(rng) <= 1.0
+
+    def test_mutate_stays_in_bounds(self, rng):
+        parameter = FloatParameter("f", 0.0, 1.0)
+        value = 0.5
+        for _ in range(100):
+            value = parameter.mutate(value, rng)
+            assert 0.0 <= value <= 1.0
+
+    def test_validate_accepts_ints(self):
+        parameter = FloatParameter("f", 0.0, 2.0)
+        assert parameter.validate(1)
+        assert not parameter.validate(3.0)
+
+
+class TestCategoricalParameter:
+    def test_sample_from_choices(self, rng):
+        parameter = CategoricalParameter("c", ["a", "b", "c"])
+        assert all(parameter.sample(rng) in ("a", "b", "c") for _ in range(50))
+
+    def test_mutate_returns_legal_choice(self, rng):
+        parameter = CategoricalParameter("c", ["a", "b", "c"])
+        assert all(parameter.mutate("a", rng) in ("a", "b", "c") for _ in range(50))
+
+    def test_single_choice_mutation_is_identity(self, rng):
+        parameter = CategoricalParameter("c", ["only"])
+        assert parameter.mutate("only", rng) == "only"
+
+    def test_empty_choices_rejected(self):
+        with pytest.raises(ValueError):
+            CategoricalParameter("c", [])
+
+
+class TestConfigurationSpace:
+    def _space(self):
+        return ConfigurationSpace(
+            [
+                IntegerParameter("cutoff", 1, 100),
+                FloatParameter("weight", 0.0, 1.0),
+                CategoricalParameter("algo", ["x", "y"]),
+            ]
+        )
+
+    def test_duplicate_names_rejected(self):
+        space = self._space()
+        with pytest.raises(ValueError):
+            space.add(IntegerParameter("cutoff", 0, 1))
+
+    def test_names_in_insertion_order(self):
+        assert self._space().names() == ["cutoff", "weight", "algo"]
+
+    def test_sample_is_valid(self, rng):
+        space = self._space()
+        for _ in range(20):
+            config = space.sample(rng)
+            space.validate(config.as_dict())
+
+    def test_default_configuration_is_valid(self):
+        space = self._space()
+        space.validate(space.default_configuration().as_dict())
+
+    def test_validate_rejects_missing_and_extra(self):
+        space = self._space()
+        with pytest.raises(ValueError):
+            space.validate({"cutoff": 5})
+        complete = space.default_configuration().as_dict()
+        complete["extra"] = 1
+        with pytest.raises(ValueError):
+            space.validate(complete)
+
+    def test_validate_rejects_out_of_range(self):
+        space = self._space()
+        values = space.default_configuration().as_dict()
+        values["cutoff"] = 1000
+        with pytest.raises(ValueError):
+            space.validate(values)
+
+
+class TestConfiguration:
+    def test_construction_validates_against_space(self):
+        space = ConfigurationSpace([IntegerParameter("a", 0, 5)])
+        with pytest.raises(ValueError):
+            Configuration({"a": 99}, space=space)
+
+    def test_getitem_and_get(self):
+        config = Configuration({"a": 1, "b": "x"})
+        assert config["a"] == 1
+        assert config.get("missing", 7) == 7
+        assert "b" in config
+
+    def test_with_updates_returns_new_object(self):
+        space = ConfigurationSpace([IntegerParameter("a", 0, 5)])
+        config = Configuration({"a": 1}, space=space)
+        updated = config.with_updates(a=3)
+        assert updated["a"] == 3
+        assert config["a"] == 1
+
+    def test_equality_and_hash(self):
+        first = Configuration({"a": 1, "b": (1, 2)})
+        second = Configuration({"b": (1, 2), "a": 1})
+        assert first == second
+        assert hash(first) == hash(second)
+        assert first != Configuration({"a": 2, "b": (1, 2)})
+
+    def test_hash_handles_lists(self):
+        config = Configuration({"a": [1, 2, 3]})
+        assert isinstance(hash(config), int)
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_property_sampled_configurations_always_validate(seed):
+    """Property: sampling any number of times never produces an illegal config."""
+    space = ConfigurationSpace(
+        [
+            IntegerParameter("i", 1, 1000, log_scale=True),
+            FloatParameter("f", -5.0, 5.0),
+            CategoricalParameter("c", ["a", "b", "c", "d"]),
+        ]
+    )
+    sampler = random.Random(seed)
+    config = space.sample(sampler)
+    space.validate(config.as_dict())
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000), steps=st.integers(1, 20))
+def test_property_mutation_chain_stays_legal(seed, steps):
+    """Property: repeated mutation of every parameter stays within the space."""
+    space = ConfigurationSpace(
+        [
+            IntegerParameter("i", 1, 64),
+            FloatParameter("f", 0.0, 1.0),
+            CategoricalParameter("c", ["a", "b"]),
+        ]
+    )
+    sampler = random.Random(seed)
+    values = space.sample(sampler).as_dict()
+    for _ in range(steps):
+        for name in space.names():
+            values[name] = space.get(name).mutate(values[name], sampler)
+    space.validate(values)

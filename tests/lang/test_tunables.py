@@ -1,0 +1,36 @@
+"""Tests for the tunable keyword and its lowering to parameters."""
+
+import pytest
+
+from repro.lang.config import CategoricalParameter, FloatParameter, IntegerParameter
+from repro.lang.tunables import Tunable
+
+
+class TestTunable:
+    def test_float_tunable_lowers_to_float_parameter(self):
+        parameter = Tunable("level", 0.0, 1.0).to_parameter()
+        assert isinstance(parameter, FloatParameter)
+        assert parameter.name == "level"
+        assert parameter.low == 0.0 and parameter.high == 1.0
+
+    def test_integer_tunable_lowers_to_integer_parameter(self):
+        parameter = Tunable("cutoff", 2, 1024, integer=True, log_scale=True).to_parameter()
+        assert isinstance(parameter, IntegerParameter)
+        assert parameter.log_scale
+
+    def test_choice_tunable_lowers_to_categorical(self):
+        parameter = Tunable("algo", choices=["a", "b"]).to_parameter()
+        assert isinstance(parameter, CategoricalParameter)
+        assert parameter.choices == ("a", "b")
+
+    def test_prefix_namespacing(self):
+        parameter = Tunable("level", 0.0, 1.0).to_parameter(prefix="sortedness")
+        assert parameter.name == "sortedness.level"
+
+    def test_paper_example_level_tunable(self):
+        """The Figure-1 example: tunable double level (0.0, 1.0)."""
+        tunable = Tunable("level", 0.0, 1.0)
+        parameter = tunable.to_parameter()
+        assert parameter.validate(0.0)
+        assert parameter.validate(1.0)
+        assert not parameter.validate(1.5)

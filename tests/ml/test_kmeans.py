@@ -1,0 +1,96 @@
+"""Tests for the K-means implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.kmeans import KMeans
+
+
+def make_blobs(n_per_cluster=30, centers=((0, 0), (10, 10), (-10, 10)), spread=0.5, seed=0):
+    rng = np.random.default_rng(seed)
+    points = []
+    labels = []
+    for index, center in enumerate(centers):
+        points.append(rng.normal(center, spread, size=(n_per_cluster, 2)))
+        labels.extend([index] * n_per_cluster)
+    return np.vstack(points), np.array(labels)
+
+
+class TestKMeans:
+    def test_recovers_well_separated_blobs(self):
+        X, truth = make_blobs()
+        result = KMeans(n_clusters=3, random_state=0).fit(X)
+        # Every true cluster should map to exactly one k-means cluster.
+        mapping = {}
+        for true_label in range(3):
+            assigned = result.labels[truth == true_label]
+            values, counts = np.unique(assigned, return_counts=True)
+            mapping[true_label] = values[np.argmax(counts)]
+            assert counts.max() / counts.sum() > 0.95
+        assert len(set(mapping.values())) == 3
+
+    def test_labels_shape_and_range(self):
+        X, _ = make_blobs()
+        result = KMeans(n_clusters=4, random_state=1).fit(X)
+        assert result.labels.shape == (X.shape[0],)
+        assert result.labels.min() >= 0
+        assert result.labels.max() < 4
+
+    def test_inertia_decreases_with_more_clusters(self):
+        X, _ = make_blobs(spread=2.0)
+        inertia_small = KMeans(n_clusters=2, random_state=0).fit(X).inertia
+        inertia_large = KMeans(n_clusters=8, random_state=0).fit(X).inertia
+        assert inertia_large < inertia_small
+
+    def test_k_reduced_for_duplicate_points(self):
+        X = np.zeros((10, 3))
+        result = KMeans(n_clusters=5, random_state=0).fit(X)
+        assert result.k == 1
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_deterministic_given_seed(self):
+        X, _ = make_blobs(seed=3)
+        first = KMeans(n_clusters=3, random_state=42).fit(X)
+        second = KMeans(n_clusters=3, random_state=42).fit(X)
+        assert np.array_equal(first.labels, second.labels)
+        assert np.allclose(first.centroids, second.centroids)
+
+    def test_rejects_empty_and_bad_shapes(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=2).fit(np.empty((0, 2)))
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=2).fit(np.ones(5))
+
+    def test_bad_constructor_args(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=0)
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=2, max_iterations=0)
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=2, n_init=0)
+
+    def test_single_cluster(self):
+        X, _ = make_blobs()
+        result = KMeans(n_clusters=1, random_state=0).fit(X)
+        assert result.k == 1
+        assert np.allclose(result.centroids[0], X.mean(axis=0))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_points=st.integers(5, 60),
+    n_features=st.integers(1, 4),
+    k=st.integers(1, 6),
+    seed=st.integers(0, 1000),
+)
+def test_property_every_point_assigned_to_nearest_centroid(n_points, n_features, k, seed):
+    """Property: the final assignment is consistent with the final centroids."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n_points, n_features))
+    result = KMeans(n_clusters=k, random_state=seed).fit(X)
+    distances = ((X[:, None, :] - result.centroids[None, :, :]) ** 2).sum(axis=2)
+    nearest = distances.min(axis=1)
+    chosen = distances[np.arange(n_points), result.labels]
+    assert np.allclose(chosen, nearest, atol=1e-9)

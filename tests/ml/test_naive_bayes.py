@@ -1,0 +1,74 @@
+"""Tests for the discretized naive-Bayes model."""
+
+import numpy as np
+import pytest
+
+from repro.ml.naive_bayes import DiscretizedNaiveBayes
+
+
+def make_dataset(n=400, seed=0):
+    """Two classes separated on feature 0; feature 1 is noise."""
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, 2, size=n)
+    X = np.column_stack([y * 4.0 + rng.normal(size=n), rng.normal(size=n)])
+    return X, y
+
+
+class TestDiscretizedNaiveBayes:
+    def test_predicts_separable_classes(self):
+        X, y = make_dataset()
+        model = DiscretizedNaiveBayes(n_regions=8).fit(X, y)
+        assert np.mean(model.predict(X) == y) > 0.9
+
+    def test_posterior_sums_to_one(self):
+        X, y = make_dataset()
+        model = DiscretizedNaiveBayes().fit(X, y)
+        posterior = model.posterior([(0, 3.0), (1, 0.0)])
+        assert posterior.shape == (2,)
+        assert posterior.sum() == pytest.approx(1.0)
+
+    def test_empty_observation_returns_prior(self):
+        X, y = make_dataset()
+        model = DiscretizedNaiveBayes().fit(X, y)
+        prior = np.exp(model.log_prior())
+        assert np.allclose(model.posterior([]), prior / prior.sum())
+
+    def test_informative_feature_sharpens_posterior(self):
+        X, y = make_dataset()
+        model = DiscretizedNaiveBayes().fit(X, y)
+        vague = model.posterior([(1, 0.0)]).max()
+        informed = model.posterior([(1, 0.0), (0, 4.5)]).max()
+        assert informed > vague
+
+    def test_region_of_monotone(self):
+        X, y = make_dataset()
+        model = DiscretizedNaiveBayes(n_regions=6).fit(X, y)
+        regions = [model.region_of(0, value) for value in (-10.0, 0.0, 2.0, 10.0)]
+        assert regions == sorted(regions)
+
+    def test_imbalanced_priors_respected(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(100, 1))
+        y = np.zeros(100, dtype=int)
+        y[:5] = 1
+        model = DiscretizedNaiveBayes().fit(X, y)
+        prior = np.exp(model.log_prior())
+        assert prior[0] > prior[1]
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            DiscretizedNaiveBayes().posterior([(0, 1.0)])
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            DiscretizedNaiveBayes(n_regions=1)
+        with pytest.raises(ValueError):
+            DiscretizedNaiveBayes(smoothing=0.0)
+        with pytest.raises(ValueError):
+            DiscretizedNaiveBayes().fit(np.zeros((3, 2)), np.zeros(2, dtype=int))
+
+    def test_constant_feature_handled(self):
+        X = np.column_stack([np.ones(50), np.arange(50, dtype=float)])
+        y = (np.arange(50) > 25).astype(int)
+        model = DiscretizedNaiveBayes().fit(X, y)
+        assert np.mean(model.predict(X) == y) > 0.9

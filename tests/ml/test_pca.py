@@ -1,0 +1,59 @@
+"""Tests for the PCA implementation."""
+
+import numpy as np
+import pytest
+
+from repro.ml.pca import PCA
+
+
+def correlated_data(n=300, seed=0):
+    """Data whose variance is concentrated along one known direction."""
+    rng = np.random.default_rng(seed)
+    direction = np.array([3.0, 1.0]) / np.sqrt(10.0)
+    scores = rng.normal(0.0, 5.0, size=n)
+    noise = rng.normal(0.0, 0.1, size=(n, 2))
+    return scores[:, None] * direction[None, :] + noise
+
+
+class TestPCA:
+    def test_first_component_matches_dominant_direction(self):
+        X = correlated_data()
+        pca = PCA(n_components=1).fit(X)
+        direction = np.array([3.0, 1.0]) / np.sqrt(10.0)
+        alignment = abs(float(pca.components_[0] @ direction))
+        assert alignment > 0.99
+
+    def test_explained_variance_ratio_sums_to_one(self):
+        X = correlated_data()
+        pca = PCA().fit(X)
+        assert pca.explained_variance_ratio().sum() == pytest.approx(1.0)
+        assert pca.explained_variance_ratio()[0] > 0.95
+
+    def test_transform_shape_and_centering(self):
+        X = correlated_data()
+        projected = PCA(n_components=1).fit_transform(X)
+        assert projected.shape == (300, 1)
+        assert abs(projected.mean()) < 1e-9
+
+    def test_components_are_orthonormal(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(100, 5))
+        pca = PCA().fit(X)
+        gram = pca.components_ @ pca.components_.T
+        assert np.allclose(gram, np.eye(5), atol=1e-9)
+
+    def test_n_components_capped_at_dimensionality(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(50, 3))
+        pca = PCA(n_components=10).fit(X)
+        assert pca.components_.shape == (3, 3)
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            PCA(n_components=0)
+        with pytest.raises(ValueError):
+            PCA().fit(np.ones(5))
+        with pytest.raises(ValueError):
+            PCA().fit(np.ones((1, 3)))
+        with pytest.raises(RuntimeError):
+            PCA().transform(np.ones((2, 2)))

@@ -1,0 +1,55 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands_parse(self):
+        parser = build_parser()
+        assert parser.parse_args(["list"]).command == "list"
+        assert parser.parse_args(["figure7"]).command == "figure7"
+        args = parser.parse_args(["table1", "--tests", "sort2", "--inputs", "30"])
+        assert args.tests == ["sort2"] and args.inputs == 30
+        assert parser.parse_args(["train", "svd"]).test == "svd"
+
+
+class TestCommands:
+    def test_list_prints_all_tests(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for name in ("sort1", "sort2", "binpacking", "helmholtz3d"):
+            assert name in output
+
+    def test_figure7_prints_curves(self, capsys):
+        assert main(["figure7"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 7a" in output and "Figure 7b" in output
+
+    def test_table1_rejects_unknown_test(self, capsys):
+        assert main(["table1", "--tests", "bogus"]) == 2
+
+    def test_train_rejects_unknown_test(self, capsys):
+        assert main(["train", "bogus"]) == 2
+
+    def test_train_runs_tiny_experiment(self, capsys):
+        code = main(
+            ["train", "sort2", "--inputs", "24", "--clusters", "3", "--generations", "2"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "production classifier" in output
+        assert "dynamic_oracle" in output
+
+    def test_table1_runs_tiny_experiment(self, capsys):
+        code = main(
+            ["table1", "--tests", "svd", "--inputs", "24", "--clusters", "3", "--generations", "2"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "svd" in output and "Dynamic Oracle" in output
