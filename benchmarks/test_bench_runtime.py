@@ -1,0 +1,106 @@
+"""Benchmark: the measurement runtime (executors + run cache).
+
+Records the perf baseline future scale-up PRs are measured against:
+
+* serial vs. process-pool wall time for one small Table-1 row (``sort1``),
+* cold-cache vs. warm-cache wall time and the warm run's cache hit rate,
+* raw executor throughput on one N x K measurement matrix.
+
+The warm-cache run must be decisively faster than the cold run (every
+program execution is replaced by a cache lookup); the parallel numbers are
+recorded for tracking rather than asserted, because speedup depends on the
+host's core count and the benchmark's run-time granularity.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.benchmarks_suite import get_benchmark
+from repro.experiments.runner import run_experiment
+from repro.runtime import RunCache, Runtime
+
+from conftest import experiment_config
+
+
+def _config(executor: str, use_cache: bool = True):
+    config = experiment_config()
+    config.executor = executor
+    config.use_cache = use_cache
+    return config
+
+
+@pytest.mark.parametrize("executor", ["serial", "process"])
+def test_experiment_wall_time_by_executor(benchmark, executor):
+    """Wall time of the sort1 row under each executor (perf baseline)."""
+    config = _config(executor)
+    result = benchmark.pedantic(
+        run_experiment, args=("sort1", config), rounds=1, iterations=1
+    )
+    counters = result.runtime_stats["telemetry"]["counters"]
+    print(
+        f"\n[runtime:{executor}] runs={counters.get('runs_requested', 0)} "
+        f"executed={counters.get('runs_executed', 0)} "
+        f"hits={counters.get('cache_hits', 0)}"
+    )
+    assert result.runtime_stats["executor"] == executor
+    assert "executor_fallback" not in result.runtime_stats
+
+
+def test_warm_cache_speedup(benchmark):
+    """A shared cache makes a repeated row dramatically cheaper."""
+    config = _config("serial")
+    runtime = Runtime(cache=RunCache())
+
+    cold_start = time.perf_counter()
+    run_experiment("sort1", config, runtime=runtime)
+    cold_seconds = time.perf_counter() - cold_start
+    hits_before = runtime.telemetry.cache_hits
+    executed_before = runtime.telemetry.runs_executed
+
+    warm_start = time.perf_counter()
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("sort1", config),
+        kwargs={"runtime": runtime},
+        rounds=1,
+        iterations=1,
+    )
+    warm_seconds = time.perf_counter() - warm_start
+
+    warm_hits = runtime.telemetry.cache_hits - hits_before
+    warm_executed = runtime.telemetry.runs_executed - executed_before
+    hit_rate = warm_hits / max(1, warm_hits + warm_executed)
+    print(
+        f"\n[runtime:cache] cold={cold_seconds:.3f}s warm={warm_seconds:.3f}s "
+        f"speedup={cold_seconds / max(warm_seconds, 1e-9):.1f}x "
+        f"warm-hit-rate={hit_rate:.1%}"
+    )
+    runtime.close()
+    assert result.test_name == "sort1"
+    # The repeat run re-executes nothing and must be decisively faster.
+    assert warm_executed == 0
+    assert hit_rate == 1.0
+    assert warm_seconds < cold_seconds
+
+
+@pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+def test_measurement_matrix_throughput(benchmark, executor):
+    """Raw N x K measurement throughput per executor (no cache)."""
+    variant = get_benchmark("sort1")
+    program = variant.benchmark.program
+    inputs = variant.benchmark.generate_inputs(24, variant.variant, seed=0)
+    import random
+
+    rng = random.Random(0)
+    configs = [program.default_configuration()] + [
+        program.config_space.sample(rng) for _ in range(3)
+    ]
+    runtime = Runtime.create(executor=executor, use_cache=False)
+    measured = benchmark.pedantic(
+        runtime.measure, args=(program, configs, inputs), rounds=1, iterations=1
+    )
+    runtime.close()
+    assert measured["times"].shape == (24, 4)

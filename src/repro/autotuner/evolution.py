@@ -31,6 +31,7 @@ from repro.autotuner.mutators import crossover_configurations, mutate_configurat
 from repro.autotuner.objectives import CandidateEvaluation, TuningObjective
 from repro.lang.config import Configuration
 from repro.lang.program import PetaBricksProgram
+from repro.runtime import Runtime
 
 
 @dataclass
@@ -72,6 +73,10 @@ class EvolutionaryAutotuner:
         mutation_rate: per-parameter mutation probability.
         seed: RNG seed; tuning is fully deterministic given the seed and the
             (deterministic) cost model.
+        runtime: measurement runtime candidate evaluations go through; the
+            search itself (selection, crossover, mutation) stays on the
+            seeded RNG, so the runtime only affects *how* runs execute, not
+            which configurations are tried.
     """
 
     def __init__(
@@ -84,6 +89,7 @@ class EvolutionaryAutotuner:
         crossover_rate: float = 0.4,
         mutation_rate: float = 0.35,
         seed: Optional[int] = None,
+        runtime: Optional[Runtime] = None,
     ) -> None:
         if population_size < 2:
             raise ValueError("population_size must be >= 2")
@@ -99,6 +105,7 @@ class EvolutionaryAutotuner:
         self.crossover_rate = crossover_rate
         self.mutation_rate = mutation_rate
         self.seed = seed
+        self.runtime = runtime
 
     def tune(
         self,
@@ -117,7 +124,7 @@ class EvolutionaryAutotuner:
                 population.
         """
         rng = random.Random(self.seed)
-        objective = TuningObjective(program, tuning_inputs)
+        objective = TuningObjective(program, tuning_inputs, runtime=self.runtime)
         space = program.config_space
 
         seeds: List[Configuration] = [program.default_configuration()]

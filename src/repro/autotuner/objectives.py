@@ -16,6 +16,7 @@ from typing import Any, Iterable, List, Optional, Sequence, Tuple
 from repro.lang.accuracy import AccuracyRequirement
 from repro.lang.config import Configuration
 from repro.lang.program import PetaBricksProgram
+from repro.runtime import Runtime, default_runtime
 
 
 @dataclass(frozen=True)
@@ -59,6 +60,10 @@ class TuningObjective:
             the cluster centroid (a single synthetic input); passing several
             inputs gives a more robust but slower evaluation.
         requirement: accuracy requirement; defaults to the program's own.
+        runtime: measurement runtime the candidate runs go through; defaults
+            to the shared serial, cache-less runtime.  ``evaluations_performed``
+            counts *requested* runs, so a caching runtime leaves the reported
+            tuning budget unchanged while skipping re-execution.
     """
 
     def __init__(
@@ -66,23 +71,23 @@ class TuningObjective:
         program: PetaBricksProgram,
         tuning_inputs: Sequence[Any],
         requirement: Optional[AccuracyRequirement] = None,
+        runtime: Optional[Runtime] = None,
     ) -> None:
         if not tuning_inputs:
             raise ValueError("need at least one tuning input")
         self.program = program
         self.tuning_inputs = list(tuning_inputs)
         self.requirement = requirement or program.accuracy_requirement
+        self.runtime = runtime if runtime is not None else default_runtime()
         self.evaluations_performed = 0
 
     def evaluate(self, config: Configuration) -> CandidateEvaluation:
-        """Run the program with ``config`` on every tuning input."""
-        times: List[float] = []
-        accuracies: List[float] = []
-        for tuning_input in self.tuning_inputs:
-            result = self.program.run(config, tuning_input)
-            times.append(result.time)
-            accuracies.append(result.accuracy)
-            self.evaluations_performed += 1
+        """Run the program with ``config`` on every tuning input (one batch)."""
+        pairs = [(config, tuning_input) for tuning_input in self.tuning_inputs]
+        results = self.runtime.run_pairs(self.program, pairs)
+        self.evaluations_performed += len(pairs)
+        times: List[float] = [result.time for result in results]
+        accuracies: List[float] = [result.accuracy for result in results]
         mean_time = sum(times) / len(times)
         satisfaction = self.requirement.satisfaction_rate(accuracies)
         return CandidateEvaluation(

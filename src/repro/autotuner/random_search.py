@@ -14,6 +14,7 @@ from repro.autotuner.evolution import TuningResult
 from repro.autotuner.objectives import TuningObjective
 from repro.lang.config import Configuration
 from repro.lang.program import PetaBricksProgram
+from repro.runtime import Runtime
 
 
 class RandomSearchTuner:
@@ -23,13 +24,20 @@ class RandomSearchTuner:
         n_samples: number of random configurations to evaluate (the default
             configuration is always evaluated in addition).
         seed: RNG seed.
+        runtime: measurement runtime candidate evaluations go through.
     """
 
-    def __init__(self, n_samples: int = 60, seed: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        n_samples: int = 60,
+        seed: Optional[int] = None,
+        runtime: Optional[Runtime] = None,
+    ) -> None:
         if n_samples < 1:
             raise ValueError("n_samples must be >= 1")
         self.n_samples = n_samples
         self.seed = seed
+        self.runtime = runtime
 
     def tune(
         self,
@@ -39,7 +47,7 @@ class RandomSearchTuner:
     ) -> TuningResult:
         """Evaluate ``n_samples`` random configurations and return the best."""
         rng = random.Random(self.seed)
-        objective = TuningObjective(program, tuning_inputs)
+        objective = TuningObjective(program, tuning_inputs, runtime=self.runtime)
 
         candidates = [program.default_configuration()]
         if initial_configs:

@@ -14,10 +14,12 @@ plain text suitable for piping into a report.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional, Sequence
 
 from repro.benchmarks_suite import registry
+from repro.runtime import EXECUTORS
 from repro.experiments.figure7 import model_figure7a, model_figure7b
 from repro.experiments.reporting import format_series, format_table
 from repro.experiments.runner import ExperimentConfig, run_experiment
@@ -30,6 +32,10 @@ def _experiment_config(args: argparse.Namespace) -> ExperimentConfig:
         n_clusters=args.clusters,
         tuner_generations=args.generations,
         seed=args.seed,
+        executor=args.executor,
+        workers=args.workers,
+        use_cache=not args.no_cache,
+        cache_path=args.cache_path,
     )
 
 
@@ -38,6 +44,57 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--clusters", type=int, default=10, help="number of Level-1 clusters (K1)")
     parser.add_argument("--generations", type=int, default=6, help="autotuner generations per landmark")
     parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--executor",
+        choices=sorted(EXECUTORS),
+        default=os.environ.get("REPRO_EXECUTOR", "serial"),
+        help="run strategy for program measurements (default: serial, bit-identical)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count for thread/process executors (default: CPU count)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the run cache (every measurement re-executes)",
+    )
+    parser.add_argument(
+        "--cache-path",
+        default=None,
+        help="JSON file to load/persist run measurements across invocations",
+    )
+    parser.add_argument(
+        "--runtime-stats",
+        action="store_true",
+        help="print executor/cache/phase statistics after the run",
+    )
+
+
+def _print_runtime_stats(args: argparse.Namespace, stats: dict) -> None:
+    if not args.runtime_stats or not stats:
+        return
+    print("\nruntime statistics:")
+    print(f"  executor: {stats.get('executor')}")
+    if "executor_fallback" in stats:
+        print(f"  executor fallback: {stats['executor_fallback']}")
+    cache = stats.get("cache")
+    if cache:
+        print(
+            f"  cache: {cache['entries']} entries, "
+            f"{cache['hits']} hits, {cache['misses']} misses"
+        )
+    telemetry = stats.get("telemetry", {})
+    counters = telemetry.get("counters", {})
+    print(
+        f"  runs: {counters.get('runs_requested', 0)} requested, "
+        f"{counters.get('runs_executed', 0)} executed, "
+        f"{counters.get('cache_hits', 0)} cache hits"
+    )
+    for name, phase in sorted(telemetry.get("phases", {}).items()):
+        print(f"  phase {name}: {phase['seconds']:.3f}s over {phase['calls']} call(s)")
 
 
 def cmd_list(_args: argparse.Namespace) -> int:
@@ -66,11 +123,16 @@ def cmd_table1(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown tests: {unknown}", file=sys.stderr)
         return 2
-    rows = run_table1(tests=tests, config=_experiment_config(args), progress=lambda m: print(f"# {m}"))
-    print(format_table1(rows))
-    headline = summarize_headline(rows)
-    print(f"\nmax two-level speedup: {headline['max_two_level_speedup']:.2f}x")
-    print(f"max two-level / one-level ratio: {headline['max_two_over_one_level']:.2f}x")
+    config = _experiment_config(args)
+    with config.runtime_scope() as runtime:
+        rows = run_table1(
+            tests=tests, config=config, progress=lambda m: print(f"# {m}"), runtime=runtime
+        )
+        print(format_table1(rows))
+        headline = summarize_headline(rows)
+        print(f"\nmax two-level speedup: {headline['max_two_level_speedup']:.2f}x")
+        print(f"max two-level / one-level ratio: {headline['max_two_over_one_level']:.2f}x")
+        _print_runtime_stats(args, runtime.stats())
     return 0
 
 
@@ -108,6 +170,7 @@ def cmd_train(args: argparse.Namespace) -> int:
         for name in ("dynamic_oracle", "two_level", "one_level")
     ]
     print(format_table(["method", "speedup (w/ features)", "speedup (w/o)", "accuracy satisfied"], rows))
+    _print_runtime_stats(args, result.runtime_stats)
     return 0
 
 

@@ -33,6 +33,7 @@ from repro.lang.config import Configuration
 from repro.lang.program import PetaBricksProgram
 from repro.ml.kmeans import KMeans
 from repro.ml.normalize import ZScoreNormalizer
+from repro.runtime import Runtime, default_runtime
 
 
 @dataclass
@@ -164,6 +165,7 @@ def create_landmarks(
     representative_indices: Sequence[Sequence[int]],
     config: Level1Config,
     progress: Optional[Callable[[str], None]] = None,
+    runtime: Optional[Runtime] = None,
 ) -> Dict[str, Any]:
     """Step 3: autotune the program once per cluster.
 
@@ -180,6 +182,7 @@ def create_landmarks(
             offspring_per_generation=config.tuner_population,
             max_generations=config.tuner_generations,
             seed=config.seed + rank,
+            runtime=runtime,
         )
         tuning_inputs = [inputs[i] for i in member_indices]
         result = tuner.tune(program, tuning_inputs)
@@ -198,19 +201,24 @@ def measure_performance(
     inputs: Sequence[Any],
     landmarks: Sequence[Configuration],
     progress: Optional[Callable[[str], None]] = None,
+    runtime: Optional[Runtime] = None,
 ) -> Dict[str, np.ndarray]:
-    """Step 4: run every landmark on every input, recording time and accuracy."""
+    """Step 4: run every landmark on every input, recording time and accuracy.
+
+    The whole N x K matrix is submitted to the measurement runtime as one
+    batch, so a parallel executor can spread the runs across workers and a
+    shared cache can recall measurements already taken (e.g. by the
+    autotuner or an earlier experiment).
+    """
+    runtime = runtime if runtime is not None else default_runtime()
     n, k = len(inputs), len(landmarks)
-    times = np.zeros((n, k))
-    accuracies = np.zeros((n, k))
-    for j, landmark in enumerate(landmarks):
-        for i, program_input in enumerate(inputs):
-            result = program.run(landmark, program_input)
-            times[i, j] = result.time
-            accuracies[i, j] = result.accuracy
-        if progress is not None:
-            progress(f"measured landmark {j + 1}/{k} on {n} inputs")
-    return {"times": times, "accuracies": accuracies}
+    before = runtime.telemetry.cache_hits
+    with runtime.telemetry.phase("level1.measure"):
+        measured = runtime.measure(program, landmarks, inputs)
+    if progress is not None:
+        hits = runtime.telemetry.cache_hits - before
+        progress(f"measured {k} landmarks on {n} inputs ({hits} cache hits)")
+    return measured
 
 
 def run_level1(
@@ -218,25 +226,30 @@ def run_level1(
     inputs: Sequence[Any],
     config: Optional[Level1Config] = None,
     progress: Optional[Callable[[str], None]] = None,
+    runtime: Optional[Runtime] = None,
 ) -> Level1Result:
     """Run the full Level-1 pipeline and assemble the performance dataset."""
     if config is None:
         config = Level1Config()
     if len(inputs) < 2:
         raise ValueError("Level 1 needs at least two training inputs")
+    runtime = runtime if runtime is not None else default_runtime()
 
-    extracted = extract_features(program, inputs)
+    with runtime.telemetry.phase("level1.features"):
+        extracted = extract_features(program, inputs)
     n_clusters = min(config.n_clusters, len(inputs))
-    clustering = cluster_inputs(extracted["features"], n_clusters, seed=config.seed)
+    with runtime.telemetry.phase("level1.cluster"):
+        clustering = cluster_inputs(extracted["features"], n_clusters, seed=config.seed)
     representatives = representative_input_indices(
         clustering["normalized"],
         clustering["labels"],
         clustering["centroids"],
         n_neighbors=config.tuning_neighbors,
     )
-    landmark_info = create_landmarks(
-        program, inputs, representatives, config, progress=progress
-    )
+    with runtime.telemetry.phase("level1.tune"):
+        landmark_info = create_landmarks(
+            program, inputs, representatives, config, progress=progress, runtime=runtime
+        )
 
     raw_landmarks = landmark_info["landmarks"]
     if config.deduplicate_landmarks:
@@ -250,7 +263,9 @@ def run_level1(
         landmarks = list(raw_landmarks)
         cluster_to_landmark = list(range(len(raw_landmarks)))
 
-    measured = measure_performance(program, inputs, landmarks, progress=progress)
+    measured = measure_performance(
+        program, inputs, landmarks, progress=progress, runtime=runtime
+    )
     dataset = PerformanceDataset(
         feature_names=program.features.feature_names(),
         features=extracted["features"],

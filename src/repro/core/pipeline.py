@@ -25,6 +25,7 @@ from repro.core.level2 import Level2Config, Level2Result, run_level2
 from repro.lang.config import Configuration
 from repro.lang.program import PetaBricksProgram, RunResult
 from repro.ml.crossval import train_test_split
+from repro.runtime import Runtime, default_runtime
 
 
 @dataclass
@@ -57,12 +58,14 @@ class DeployedProgram:
         program: PetaBricksProgram,
         landmarks: Sequence[Configuration],
         classifier: CandidateClassifier,
+        runtime: Optional[Runtime] = None,
     ) -> None:
         if not landmarks:
             raise ValueError("a deployed program needs at least one landmark")
         self.program = program
         self.landmarks = list(landmarks)
         self.classifier = classifier
+        self.runtime = runtime
 
     def select_configuration(self, program_input: Any) -> Tuple[Configuration, int, float]:
         """Classify the input and return (configuration, index, extraction cost)."""
@@ -71,9 +74,17 @@ class DeployedProgram:
         return self.landmarks[label], label, cost
 
     def run(self, program_input: Any) -> DeploymentOutcome:
-        """Select the input-optimized program for this input and run it."""
+        """Select the input-optimized program for this input and run it.
+
+        Runs go through the measurement runtime when one is attached, so
+        repeated deployments of cached inputs are recalled rather than
+        re-executed.  ``need_output=True`` guarantees the outcome carries the
+        program's real output even when a persisted (measurement-only) cache
+        is in use.
+        """
         configuration, index, cost = self.select_configuration(program_input)
-        result = self.program.run(configuration, program_input)
+        runtime = self.runtime if self.runtime is not None else default_runtime()
+        result = runtime.run(self.program, configuration, program_input, need_output=True)
         return DeploymentOutcome(
             result=result,
             configuration=configuration,
@@ -124,6 +135,10 @@ class InputAwareLearning:
         test_fraction: fraction of inputs held out for classifier selection
             and evaluation (the paper uses roughly half).
         seed: seed for the train/test split.
+        runtime: measurement runtime all program runs (autotuning, Level-1
+            measurement, deployment) go through; defaults to the shared
+            serial, cache-less runtime, which is bit-identical to running
+            the programs directly.
     """
 
     def __init__(
@@ -132,6 +147,7 @@ class InputAwareLearning:
         level2_config: Optional[Level2Config] = None,
         test_fraction: float = 0.5,
         seed: int = 0,
+        runtime: Optional[Runtime] = None,
     ) -> None:
         self.level1_config = level1_config or Level1Config()
         self.level2_config = level2_config or Level2Config()
@@ -139,6 +155,7 @@ class InputAwareLearning:
             raise ValueError("test_fraction must be in (0, 1)")
         self.test_fraction = test_fraction
         self.seed = seed
+        self.runtime = runtime
 
     def fit(
         self,
@@ -150,22 +167,28 @@ class InputAwareLearning:
         if len(inputs) < 4:
             raise ValueError("need at least 4 training inputs")
 
-        level1 = run_level1(program, inputs, config=self.level1_config, progress=progress)
+        runtime = self.runtime
+        level1 = run_level1(
+            program, inputs, config=self.level1_config, progress=progress, runtime=runtime
+        )
         train_rows, test_rows = train_test_split(
             len(inputs), test_fraction=self.test_fraction, random_state=self.seed
         )
-        level2 = run_level2(
-            level1.dataset,
-            train_rows,
-            test_rows,
-            config=self.level2_config,
-            level1_cluster_labels=level1.cluster_labels,
-            cluster_to_landmark=level1.cluster_to_landmark,
-        )
+        telemetry = (runtime if runtime is not None else default_runtime()).telemetry
+        with telemetry.phase("level2.train"):
+            level2 = run_level2(
+                level1.dataset,
+                train_rows,
+                test_rows,
+                config=self.level2_config,
+                level1_cluster_labels=level1.cluster_labels,
+                cluster_to_landmark=level1.cluster_to_landmark,
+            )
         deployed = DeployedProgram(
             program=program,
             landmarks=level1.landmarks,
             classifier=level2.production.classifier,
+            runtime=runtime,
         )
         return TrainingResult(
             level1=level1,

@@ -28,6 +28,7 @@ from repro.core.baselines import DynamicOracle, StaticOracle
 from repro.core.dataset import PerformanceDataset
 from repro.core.level1 import Level1Config, measure_performance
 from repro.experiments.runner import ExperimentConfig, ExperimentResult, run_experiment
+from repro.runtime import Runtime
 
 
 @dataclass
@@ -65,6 +66,7 @@ def landmark_selection_ablation(
     seed: int = 0,
     tuner_generations: int = 6,
     tuner_population: int = 8,
+    runtime: Optional[Runtime] = None,
 ) -> LandmarkSelectionAblation:
     """Compare k-means-representative landmarks against random-input landmarks.
 
@@ -95,10 +97,11 @@ def landmark_selection_ablation(
             offspring_per_generation=tuner_population,
             max_generations=tuner_generations,
             seed=seed + rank,
+            runtime=runtime,
         )
         landmarks.append(tuner.tune(program, [dataset.inputs[row]]).best_config)
 
-    measured = measure_performance(program, dataset.inputs, landmarks)
+    measured = measure_performance(program, dataset.inputs, landmarks, runtime=runtime)
     random_dataset = PerformanceDataset(
         feature_names=dataset.feature_names,
         features=dataset.features,
@@ -193,14 +196,25 @@ def run_ablations(
     test_name: str = "sort2",
     config: Optional[ExperimentConfig] = None,
     n_landmarks: int = 5,
+    runtime: Optional[Runtime] = None,
 ) -> dict:
-    """Run both ablations for one test and return a summary dict."""
-    result = run_experiment(test_name, config=config)
-    selection = landmark_selection_ablation(result, n_landmarks=n_landmarks)
-    return {
-        "test_name": test_name,
-        "kmeans_speedup": selection.kmeans_speedup,
-        "random_speedup": selection.random_speedup,
-        "random_degradation": selection.degradation,
-        "relabel_shift": relabel_shift(result),
-    }
+    """Run both ablations for one test and return a summary dict.
+
+    The experiment and the landmark-selection ablation share one
+    measurement runtime, so the ablation's re-measurements of already-seen
+    (configuration, input) pairs come from the cache.
+    """
+    if config is None:
+        config = ExperimentConfig()
+    with config.runtime_scope(runtime) as active:
+        result = run_experiment(test_name, config=config, runtime=active)
+        selection = landmark_selection_ablation(
+            result, n_landmarks=n_landmarks, runtime=active
+        )
+        return {
+            "test_name": test_name,
+            "kmeans_speedup": selection.kmeans_speedup,
+            "random_speedup": selection.random_speedup,
+            "random_degradation": selection.degradation,
+            "relabel_shift": relabel_shift(result),
+        }

@@ -18,8 +18,10 @@ and Figure 8 can all be derived from the same run.
 
 from __future__ import annotations
 
+import contextlib
+import os
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional
 
 import numpy as np
 
@@ -28,6 +30,16 @@ from repro.core.baselines import DynamicOracle, OneLevelLearning, StaticOracle
 from repro.core.level1 import Level1Config
 from repro.core.level2 import Level2Config
 from repro.core.pipeline import InputAwareLearning, TrainingResult
+from repro.runtime import Runtime, default_runtime
+
+
+def _env_executor() -> str:
+    return os.environ.get("REPRO_EXECUTOR", "serial")
+
+
+def _env_workers() -> Optional[int]:
+    value = os.environ.get("REPRO_WORKERS")
+    return int(value) if value else None
 
 
 @dataclass
@@ -37,6 +49,13 @@ class ExperimentConfig:
     The defaults are deliberately small-but-representative so the whole
     Table-1 matrix runs in minutes; raise ``n_inputs`` and ``n_clusters``
     to approach the paper's scale (50-60k inputs, 100 landmarks).
+
+    Execution knobs (see ``repro.runtime``): ``executor`` picks the run
+    strategy (``serial`` -- the bit-identical default -- ``thread``, or
+    ``process``; overridable via the ``REPRO_EXECUTOR`` / ``REPRO_WORKERS``
+    environment variables), ``use_cache`` deduplicates identical runs within
+    and across pipeline stages, and ``cache_path`` persists measurements to
+    a JSON file shared by later runs.
     """
 
     n_inputs: int = 240
@@ -47,6 +66,38 @@ class ExperimentConfig:
     tuner_population: int = 8
     tuning_neighbors: int = 4
     max_subsets: int = 192
+    executor: str = field(default_factory=_env_executor)
+    workers: Optional[int] = field(default_factory=_env_workers)
+    use_cache: bool = True
+    cache_path: Optional[str] = None
+
+    def make_runtime(self) -> Runtime:
+        """Build the measurement runtime these knobs describe."""
+        return Runtime.create(
+            executor=self.executor,
+            workers=self.workers,
+            use_cache=self.use_cache,
+            cache_path=self.cache_path,
+        )
+
+    @contextlib.contextmanager
+    def runtime_scope(self, runtime: Optional[Runtime] = None) -> Iterator[Runtime]:
+        """Yield ``runtime``, or own a fresh one built from these knobs.
+
+        An owned runtime is persisted (when ``cache_path`` is set) and
+        closed on exit; a caller-provided runtime is yielded untouched so
+        it can be shared across several experiments.
+        """
+        if runtime is not None:
+            yield runtime
+            return
+        owned = self.make_runtime()
+        try:
+            yield owned
+        finally:
+            if self.cache_path:
+                owned.save_cache()
+            owned.close()
 
     def level1(self) -> Level1Config:
         """Materialize the Level-1 configuration."""
@@ -84,12 +135,20 @@ class MethodOutcome:
 
 @dataclass
 class ExperimentResult:
-    """Everything produced by one test's experiment run."""
+    """Everything produced by one test's experiment run.
+
+    ``runtime_stats`` is the measurement runtime's snapshot at the end of
+    this experiment (executor, run counts, cache hit rate, per-phase wall
+    time).  When a shared runtime was passed in (e.g. by ``run_table1``),
+    the snapshot is cumulative across everything that runtime has executed
+    so far, not scoped to this experiment alone.
+    """
 
     test_name: str
     training: TrainingResult
     methods: Dict[str, MethodOutcome]
     test_rows: np.ndarray
+    runtime_stats: Dict[str, Any] = field(default_factory=dict)
 
     def speedups_over_static(self, method: str, with_extraction: bool = True) -> np.ndarray:
         """Per-input speedup of ``method`` over the static oracle."""
@@ -107,54 +166,63 @@ class ExperimentResult:
         return self.methods[method].satisfaction_rate
 
 
-def evaluate_methods(training: TrainingResult) -> Dict[str, MethodOutcome]:
-    """Evaluate all comparison methods on the training result's test rows."""
+def evaluate_methods(
+    training: TrainingResult, runtime: Optional[Runtime] = None
+) -> Dict[str, MethodOutcome]:
+    """Evaluate all comparison methods on the training result's test rows.
+
+    Passing a runtime only adds phase timing around the evaluation; the
+    numbers are read from the Level-1 measurement matrix either way (the
+    runtime's live re-run paths are exercised by the determinism tests).
+    """
     dataset = training.dataset
     train_rows = training.level2.train_rows
     test_rows = training.level2.test_rows
 
+    telemetry = (runtime if runtime is not None else default_runtime()).telemetry
     methods: Dict[str, MethodOutcome] = {}
 
-    static = StaticOracle().fit(dataset, train_rows).evaluate(dataset, test_rows)
-    methods["static_oracle"] = MethodOutcome(
-        name="static_oracle",
-        times=static.times,
-        times_no_extraction=static.times_no_extraction,
-        satisfaction_rate=static.satisfaction_rate,
-    )
-
-    dynamic = DynamicOracle().evaluate(dataset, test_rows)
-    methods["dynamic_oracle"] = MethodOutcome(
-        name="dynamic_oracle",
-        times=dynamic.times,
-        times_no_extraction=dynamic.times_no_extraction,
-        satisfaction_rate=dynamic.satisfaction_rate,
-    )
-
-    production = training.level2.production.classifier
-    predictions = production.predict_rows(dataset, test_rows)
-    execution = dataset.times[test_rows, predictions.labels]
-    accuracies = dataset.accuracies[test_rows, predictions.labels]
-    if dataset.requirement.enabled:
-        satisfaction = float(
-            np.mean(accuracies >= dataset.requirement.accuracy_threshold)
+    with telemetry.phase("evaluate.methods"):
+        static = StaticOracle().fit(dataset, train_rows).evaluate(dataset, test_rows)
+        methods["static_oracle"] = MethodOutcome(
+            name="static_oracle",
+            times=static.times,
+            times_no_extraction=static.times_no_extraction,
+            satisfaction_rate=static.satisfaction_rate,
         )
-    else:
-        satisfaction = 1.0
-    methods["two_level"] = MethodOutcome(
-        name="two_level",
-        times=execution + predictions.extraction_costs,
-        times_no_extraction=execution,
-        satisfaction_rate=satisfaction,
-    )
 
-    one_level = OneLevelLearning(training.level1).evaluate(dataset, test_rows)
-    methods["one_level"] = MethodOutcome(
-        name="one_level",
-        times=one_level.times,
-        times_no_extraction=one_level.times_no_extraction,
-        satisfaction_rate=one_level.satisfaction_rate,
-    )
+        dynamic = DynamicOracle().evaluate(dataset, test_rows)
+        methods["dynamic_oracle"] = MethodOutcome(
+            name="dynamic_oracle",
+            times=dynamic.times,
+            times_no_extraction=dynamic.times_no_extraction,
+            satisfaction_rate=dynamic.satisfaction_rate,
+        )
+
+        production = training.level2.production.classifier
+        predictions = production.predict_rows(dataset, test_rows)
+        execution = dataset.times[test_rows, predictions.labels]
+        accuracies = dataset.accuracies[test_rows, predictions.labels]
+        if dataset.requirement.enabled:
+            satisfaction = float(
+                np.mean(accuracies >= dataset.requirement.accuracy_threshold)
+            )
+        else:
+            satisfaction = 1.0
+        methods["two_level"] = MethodOutcome(
+            name="two_level",
+            times=execution + predictions.extraction_costs,
+            times_no_extraction=execution,
+            satisfaction_rate=satisfaction,
+        )
+
+        one_level = OneLevelLearning(training.level1).evaluate(dataset, test_rows)
+        methods["one_level"] = MethodOutcome(
+            name="one_level",
+            times=one_level.times,
+            times_no_extraction=one_level.times_no_extraction,
+            satisfaction_rate=one_level.satisfaction_rate,
+        )
 
     return methods
 
@@ -163,25 +231,37 @@ def run_experiment(
     test_name: str,
     config: Optional[ExperimentConfig] = None,
     progress: Optional[Callable[[str], None]] = None,
+    runtime: Optional[Runtime] = None,
 ) -> ExperimentResult:
-    """Train and evaluate one of the paper's eight tests end to end."""
+    """Train and evaluate one of the paper's eight tests end to end.
+
+    All program runs go through one measurement runtime: the one passed in
+    (shared caches across experiments -- see :func:`repro.experiments.table1.run_table1`)
+    or a fresh one built from the config's executor/cache knobs.  A
+    runtime owned by this call is closed (worker pools released) and, when a
+    cache path is configured, persisted before returning.
+    """
     if config is None:
         config = ExperimentConfig()
-    variant = get_benchmark(test_name)
-    inputs = variant.benchmark.generate_inputs(
-        config.n_inputs, variant.variant, seed=config.seed
-    )
-    learner = InputAwareLearning(
-        level1_config=config.level1(),
-        level2_config=config.level2(),
-        test_fraction=config.test_fraction,
-        seed=config.seed,
-    )
-    training = learner.fit(variant.benchmark.program, inputs, progress=progress)
-    methods = evaluate_methods(training)
-    return ExperimentResult(
-        test_name=test_name,
-        training=training,
-        methods=methods,
-        test_rows=training.level2.test_rows,
-    )
+    with config.runtime_scope(runtime) as active:
+        variant = get_benchmark(test_name)
+        with active.telemetry.phase("generate_inputs"):
+            inputs = variant.benchmark.generate_inputs(
+                config.n_inputs, variant.variant, seed=config.seed
+            )
+        learner = InputAwareLearning(
+            level1_config=config.level1(),
+            level2_config=config.level2(),
+            test_fraction=config.test_fraction,
+            seed=config.seed,
+            runtime=active,
+        )
+        training = learner.fit(variant.benchmark.program, inputs, progress=progress)
+        methods = evaluate_methods(training, runtime=active)
+        return ExperimentResult(
+            test_name=test_name,
+            training=training,
+            methods=methods,
+            test_rows=training.level2.test_rows,
+            runtime_stats=active.stats(),
+        )

@@ -19,6 +19,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import ExperimentConfig, ExperimentResult, run_experiment
+from repro.runtime import Runtime
 
 #: The eight tests of Table 1, in the paper's order.
 TABLE1_TESTS = (
@@ -83,15 +84,24 @@ def run_table1(
     tests: Sequence[str] = TABLE1_TESTS,
     config: Optional[ExperimentConfig] = None,
     progress: Optional[Callable[[str], None]] = None,
+    runtime: Optional[Runtime] = None,
 ) -> Dict[str, Table1Row]:
-    """Run every requested test and return its Table-1 row."""
-    rows: Dict[str, Table1Row] = {}
-    for test_name in tests:
-        if progress is not None:
-            progress(f"running {test_name}")
-        result = run_experiment(test_name, config=config)
-        rows[test_name] = row_from_result(result)
-    return rows
+    """Run every requested test and return its Table-1 row.
+
+    All tests share one measurement runtime, so tests that share a program
+    (``sort1``/``sort2``, ``clustering1``/``clustering2``) recall each
+    other's measurements from the cache instead of re-executing them.
+    """
+    if config is None:
+        config = ExperimentConfig()
+    with config.runtime_scope(runtime) as active:
+        rows: Dict[str, Table1Row] = {}
+        for test_name in tests:
+            if progress is not None:
+                progress(f"running {test_name}")
+            result = run_experiment(test_name, config=config, runtime=active)
+            rows[test_name] = row_from_result(result)
+        return rows
 
 
 def format_table1(rows: Dict[str, Table1Row]) -> str:

@@ -90,14 +90,15 @@ class AccuracyRequirement:
         return AccuracyRequirement(enabled=False)
 
 
+def _constant_one(_program_input: Any, _program_output: Any) -> float:
+    """Module-level so fixed-accuracy programs stay picklable (process pool)."""
+    return 1.0
+
+
 def always_accurate(name: str = "exact") -> AccuracyMetric:
     """An accuracy metric that always returns 1.0.
 
     Used by fixed-accuracy benchmarks (Sort) so the rest of the system can
     treat every benchmark uniformly.
     """
-
-    def metric(_program_input: Any, _program_output: Any) -> float:
-        return 1.0
-
-    return AccuracyMetric(name=name, func=metric)
+    return AccuracyMetric(name=name, func=_constant_one)

@@ -18,6 +18,7 @@ factor) that the paper's conclusions rest on.
 from __future__ import annotations
 
 import contextlib
+import contextvars
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, Optional
 
@@ -82,16 +83,23 @@ class CostCounter:
         return f"CostCounter(total={self.total:.1f}, categories={len(self.by_category)})"
 
 
-# A module-level "current" counter lets deeply nested algorithm code charge
-# work without threading a counter argument through every helper.  The
-# benchmark drivers install a counter for the duration of a run via
-# ``scoped_counter``.
-_current: Optional[CostCounter] = None
+# An ambient "current" counter lets deeply nested algorithm code charge work
+# without threading a counter argument through every helper.  The benchmark
+# drivers install a counter for the duration of a run via ``scoped_counter``.
+#
+# The counter lives in a ContextVar rather than a module global so that
+# concurrent runs (the thread-pool executor in ``repro.runtime``) each see
+# their own counter: a worker thread starts with no counter installed and
+# ``program.run`` scopes a fresh one for exactly its own run.  Within a
+# single thread the behaviour is identical to the old module global.
+_current: contextvars.ContextVar[Optional[CostCounter]] = contextvars.ContextVar(
+    "repro_cost_counter", default=None
+)
 
 
 def current_counter() -> Optional[CostCounter]:
     """Return the counter installed by the innermost :func:`scoped_counter`."""
-    return _current
+    return _current.get()
 
 
 def charge(amount: float, category: str = "work") -> None:
@@ -102,8 +110,9 @@ def charge(amount: float, category: str = "work") -> None:
     is silently dropped, so the algorithms remain usable as ordinary library
     functions.
     """
-    if _current is not None:
-        _current.charge(amount, category)
+    counter = _current.get()
+    if counter is not None:
+        counter.charge(amount, category)
 
 
 @contextlib.contextmanager
@@ -117,12 +126,10 @@ def scoped_counter(counter: Optional[CostCounter] = None) -> Iterator[CostCounte
         The installed counter, so callers can read ``counter.total`` after
         the block.
     """
-    global _current
     if counter is None:
         counter = CostCounter()
-    previous = _current
-    _current = counter
+    token = _current.set(counter)
     try:
         yield counter
     finally:
-        _current = previous
+        _current.reset(token)

@@ -1,0 +1,203 @@
+"""Content-keyed cache of program run results.
+
+Every run in this reproduction is a deterministic function of (program,
+configuration, input) -- the cost model is deterministic and every benchmark
+seeds its internal RNGs from constants.  That makes run results safely
+shareable across pipeline stages and experiments: Level 1's measurement
+matrix, the autotuner's population evaluations, the dynamic oracle's
+re-runs, and a whole Table-1 row can all draw from one
+:class:`RunCache`.
+
+Two storage tiers:
+
+* **in-memory** -- an LRU-bounded dict of :class:`~repro.lang.program.RunResult`
+  objects.  A hit returns the *identical* result object that was stored.
+* **on-disk (optional)** -- a JSON file holding the measurements (time,
+  accuracy, JSON-safe extras) but *not* the program output.  Loaded entries
+  are marked output-free; a caller that needs the output (deployment-style
+  runs) treats them as misses and re-executes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.lang.program import RunResult
+
+#: On-disk format version; bumped when the entry layout changes.
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class CacheEntry:
+    """One stored run.
+
+    Attributes:
+        result: the stored run result.
+        has_output: False for entries loaded from disk (or stored stripped),
+            whose ``result.output`` is None regardless of what the program
+            produced.
+    """
+
+    result: RunResult
+    has_output: bool = True
+
+
+class RunCache:
+    """LRU cache of run results with optional JSON persistence.
+
+    Args:
+        max_entries: in-memory entry cap; least-recently-used entries are
+            evicted once the cap is exceeded.  ``None`` means unbounded.
+        persist_path: default file path for :meth:`save` / :meth:`load`.
+    """
+
+    def __init__(
+        self,
+        max_entries: Optional[int] = None,
+        persist_path: Optional[str] = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 or None")
+        self.max_entries = max_entries
+        self.persist_path = persist_path
+        self._store: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- core operations ------------------------------------------------
+
+    def get(self, key: str, need_output: bool = False) -> Optional[RunResult]:
+        """Return the cached result for ``key``, or None on a miss.
+
+        Args:
+            key: run key (see :mod:`repro.runtime.keys`).
+            need_output: when True, an output-free entry (loaded from disk)
+                counts as a miss, so the caller re-executes and refreshes it.
+        """
+        entry = self._store.get(key)
+        if entry is None or (need_output and not entry.has_output):
+            self.misses += 1
+            return None
+        self._store.move_to_end(key)
+        self.hits += 1
+        return entry.result
+
+    def put(self, key: str, result: RunResult, has_output: bool = True) -> None:
+        """Store ``result`` under ``key``, evicting LRU entries if needed."""
+        self._store[key] = CacheEntry(result=result, has_output=has_output)
+        self._store.move_to_end(key)
+        if self.max_entries is not None:
+            while len(self._store) > self.max_entries:
+                self._store.popitem(last=False)
+                self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._store
+
+    def clear(self) -> None:
+        """Drop all entries (statistics are kept)."""
+        self._store.clear()
+
+    # -- persistence ----------------------------------------------------
+
+    def save(self, path: Optional[str] = None) -> int:
+        """Write all entries' measurements to a JSON file.
+
+        Program outputs are not persisted (they can be arbitrary objects);
+        reloaded entries therefore serve measurement lookups only.  Returns
+        the number of entries written.  The write is atomic (temp file +
+        rename), so a crashed run cannot leave a truncated cache behind.
+        """
+        target = path or self.persist_path
+        if target is None:
+            raise ValueError("no persist path configured")
+        entries: Dict[str, Dict[str, Any]] = {}
+        for key, entry in self._store.items():
+            record: Dict[str, Any] = {
+                "time": entry.result.time,
+                "accuracy": entry.result.accuracy,
+            }
+            extra = _json_safe_extra(entry.result.extra)
+            if extra:
+                record["extra"] = extra
+            entries[key] = record
+        payload = {"version": _FORMAT_VERSION, "entries": entries}
+        directory = os.path.dirname(os.path.abspath(target))
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_path, target)
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+        return len(entries)
+
+    def load(self, path: Optional[str] = None) -> int:
+        """Load entries from a JSON file written by :meth:`save`.
+
+        Missing, corrupt, or incompatible files are tolerated (returns 0):
+        the cache is an optimization, so a bad file must degrade to a cold
+        start, never kill the run.  Loaded entries are output-free.
+        Returns the number of entries loaded.
+        """
+        target = path or self.persist_path
+        if target is None:
+            raise ValueError("no persist path configured")
+        if not os.path.exists(target):
+            return 0
+        try:
+            with open(target, "r") as handle:
+                payload = json.load(handle)
+            if not isinstance(payload, dict) or payload.get("version") != _FORMAT_VERSION:
+                return 0
+            entries = payload.get("entries", {})
+            loaded = 0
+            for key, record in entries.items():
+                result = RunResult(
+                    output=None,
+                    time=float(record["time"]),
+                    accuracy=float(record["accuracy"]),
+                    extra=dict(record.get("extra", {})),
+                )
+                self.put(key, result, has_output=False)
+                loaded += 1
+            return loaded
+        except (OSError, ValueError, KeyError, TypeError, AttributeError):
+            return 0
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/eviction counters plus the current size."""
+        return {
+            "entries": len(self._store),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RunCache(entries={len(self._store)}, hits={self.hits}, misses={self.misses})"
+
+
+def _json_safe_extra(extra: Dict[str, Any]) -> Dict[str, Any]:
+    """Keep only the JSON-serializable part of a result's extras."""
+    safe: Dict[str, Any] = {}
+    for key, value in extra.items():
+        try:
+            json.dumps(value)
+        except (TypeError, ValueError):
+            continue
+        safe[key] = value
+    return safe

@@ -1,0 +1,236 @@
+"""Execution strategies for batched program runs.
+
+An executor takes a program and a batch of ``(configuration, input)`` tasks
+and returns one :class:`~repro.lang.program.RunResult` per task, in task
+order.  Because every run in this reproduction is a pure function of its
+task (deterministic cost model, per-run seeded RNGs, per-run cost counters
+held in context variables), the three strategies are interchangeable:
+
+* :class:`SerialExecutor` -- the default; runs tasks in a plain loop and is
+  the bit-identical reference behaviour.
+* :class:`ThreadExecutor` -- a thread pool.  Correct under the thread-local
+  cost accounting in :mod:`repro.lang.cost`; mostly useful when run
+  functions release the GIL (NumPy-heavy benchmarks) and as a concurrency
+  shake-out of the runtime.
+* :class:`ProcessExecutor` -- a process pool for genuine parallelism.  The
+  program is shipped to workers once per pool (not per task).  If the
+  program or a task cannot be pickled, the batch transparently falls back
+  to serial execution and the executor records that it did so.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import pickle
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.lang.config import Configuration
+from repro.lang.program import PetaBricksProgram, RunResult
+
+#: A single unit of work: run the program with this configuration on this input.
+Task = Tuple[Configuration, Any]
+
+
+def _default_workers() -> int:
+    return max(1, os.cpu_count() or 1)
+
+
+class BaseExecutor:
+    """Interface shared by all execution strategies."""
+
+    #: Short strategy name used in flags and telemetry.
+    name: str = "base"
+
+    def run_batch(
+        self, program: PetaBricksProgram, tasks: Sequence[Task]
+    ) -> List[RunResult]:
+        """Execute every task and return results in task order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any pooled resources (idempotent)."""
+
+    def __enter__(self) -> "BaseExecutor":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SerialExecutor(BaseExecutor):
+    """Run tasks one after another in the calling thread."""
+
+    name = "serial"
+
+    def run_batch(
+        self, program: PetaBricksProgram, tasks: Sequence[Task]
+    ) -> List[RunResult]:
+        return [program.run(config, program_input) for config, program_input in tasks]
+
+
+class ThreadExecutor(BaseExecutor):
+    """Run tasks on a shared thread pool.
+
+    Args:
+        workers: pool size; defaults to the CPU count.
+    """
+
+    name = "thread"
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        self.workers = workers or _default_workers()
+        self._pool: Optional[concurrent.futures.ThreadPoolExecutor] = None
+
+    def _ensure_pool(self) -> concurrent.futures.ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = concurrent.futures.ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-runtime"
+            )
+        return self._pool
+
+    def run_batch(
+        self, program: PetaBricksProgram, tasks: Sequence[Task]
+    ) -> List[RunResult]:
+        if len(tasks) <= 1:
+            return SerialExecutor().run_batch(program, tasks)
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(program.run, config, program_input)
+            for config, program_input in tasks
+        ]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __repr__(self) -> str:
+        return f"ThreadExecutor(workers={self.workers})"
+
+
+# -- process-pool plumbing ----------------------------------------------
+#
+# The worker receives the program once via the pool initializer and keeps it
+# in a module global; tasks then only carry (configuration, input).
+
+_WORKER_PROGRAM: Optional[PetaBricksProgram] = None
+
+
+def _process_worker_init(program: PetaBricksProgram) -> None:
+    global _WORKER_PROGRAM
+    _WORKER_PROGRAM = program
+
+
+def _process_worker_run(task: Task) -> RunResult:
+    assert _WORKER_PROGRAM is not None, "worker pool used before initialization"
+    config, program_input = task
+    return _WORKER_PROGRAM.run(config, program_input)
+
+
+class ProcessExecutor(BaseExecutor):
+    """Run tasks on a process pool, falling back to serial when pickling fails.
+
+    Args:
+        workers: pool size; defaults to the CPU count.
+
+    Attributes:
+        fallback_reason: set to a short description the first time a batch
+            had to run serially because the program or its tasks could not
+            be pickled (or the pool broke); None while the pool is healthy.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        self.workers = workers or _default_workers()
+        self.fallback_reason: Optional[str] = None
+        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+        self._pool_program: Optional[PetaBricksProgram] = None
+
+    def _pool_for(
+        self, program: PetaBricksProgram
+    ) -> Optional[concurrent.futures.ProcessPoolExecutor]:
+        """A pool initialized with ``program``, or None if it cannot be shipped."""
+        if self._pool is not None and self._pool_program is program:
+            return self._pool
+        try:
+            pickle.dumps(program)
+        except Exception as error:
+            self.fallback_reason = f"program not picklable: {type(error).__name__}"
+            return None
+        self._shutdown_pool()
+        self._pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_process_worker_init,
+            initargs=(program,),
+        )
+        self._pool_program = program
+        return self._pool
+
+    def run_batch(
+        self, program: PetaBricksProgram, tasks: Sequence[Task]
+    ) -> List[RunResult]:
+        if not tasks:
+            return []
+        pool = self._pool_for(program)
+        if pool is None:
+            return SerialExecutor().run_batch(program, tasks)
+        try:
+            pickle.dumps(tasks[0])
+        except Exception as error:
+            self.fallback_reason = f"task not picklable: {type(error).__name__}"
+            return SerialExecutor().run_batch(program, tasks)
+        try:
+            return list(pool.map(_process_worker_run, tasks))
+        except (pickle.PicklingError, TypeError, AttributeError) as error:
+            self.fallback_reason = f"batch not picklable: {type(error).__name__}"
+            return SerialExecutor().run_batch(program, tasks)
+        except concurrent.futures.process.BrokenProcessPool as error:
+            self.fallback_reason = f"process pool broke: {error}"
+            self._shutdown_pool()
+            return SerialExecutor().run_batch(program, tasks)
+
+    def _shutdown_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_program = None
+
+    def close(self) -> None:
+        self._shutdown_pool()
+
+    def __repr__(self) -> str:
+        return f"ProcessExecutor(workers={self.workers})"
+
+
+#: Registered executor strategies, keyed by flag value.
+EXECUTORS = {
+    "serial": SerialExecutor,
+    "thread": ThreadExecutor,
+    "process": ProcessExecutor,
+}
+
+
+def get_executor(spec: str = "serial", workers: Optional[int] = None) -> BaseExecutor:
+    """Build an executor from a flag value.
+
+    Accepts ``"serial"``, ``"thread"``, ``"process"``, optionally suffixed
+    with a worker count as ``"thread:4"`` / ``"process:8"`` (an explicit
+    ``workers`` argument wins over the suffix).
+    """
+    name, _, suffix = spec.partition(":")
+    name = name.strip().lower() or "serial"
+    if name not in EXECUTORS:
+        raise ValueError(
+            f"unknown executor {spec!r}; available: {sorted(EXECUTORS)}"
+        )
+    if workers is None and suffix:
+        workers = int(suffix)
+    if name == "serial":
+        return SerialExecutor()
+    return EXECUTORS[name](workers=workers)

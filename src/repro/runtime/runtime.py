@@ -1,0 +1,250 @@
+"""The measurement runtime: executor + run cache + telemetry.
+
+:class:`Runtime` is the single entry point the rest of the system uses to
+execute program runs.  It batches runs through a pluggable executor
+(:mod:`repro.runtime.executors`), deduplicates identical
+(program, configuration, input) runs through a content-keyed cache
+(:mod:`repro.runtime.cache`), and records counters and phase timings
+(:mod:`repro.runtime.telemetry`).
+
+The default runtime (:func:`default_runtime`) is a cache-less serial
+runtime, so call sites that do not opt in behave exactly like direct
+``program.run`` loops -- bit-identical to the pre-runtime code.  Experiment
+drivers construct caching/parallel runtimes explicitly (see
+``ExperimentConfig.make_runtime``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.lang.config import Configuration
+from repro.lang.program import PetaBricksProgram, RunResult
+from repro.runtime.cache import RunCache
+from repro.runtime.executors import BaseExecutor, SerialExecutor, Task, get_executor
+from repro.runtime.keys import config_key, input_key, program_fingerprint, run_key
+from repro.runtime.telemetry import Telemetry
+
+
+def _strip_output(result: RunResult) -> RunResult:
+    """A copy of ``result`` without the program output (for measurement caching)."""
+    if result.output is None:
+        return result
+    return RunResult(
+        output=None, time=result.time, accuracy=result.accuracy, extra=result.extra
+    )
+
+
+class Runtime:
+    """Shared execution runtime for all program measurements.
+
+    Args:
+        executor: execution strategy; defaults to :class:`SerialExecutor`.
+        cache: run cache; ``None`` disables caching entirely (every request
+            executes), which is the bit-identical legacy behaviour.
+        telemetry: telemetry sink; a fresh one is created when omitted.
+    """
+
+    def __init__(
+        self,
+        executor: Optional[BaseExecutor] = None,
+        cache: Optional[RunCache] = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        self.executor = executor if executor is not None else SerialExecutor()
+        self.cache = cache
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+
+    @classmethod
+    def create(
+        cls,
+        executor: str = "serial",
+        workers: Optional[int] = None,
+        use_cache: bool = True,
+        max_entries: Optional[int] = 200_000,
+        cache_path: Optional[str] = None,
+    ) -> "Runtime":
+        """Build a runtime from flag-style settings.
+
+        When ``cache_path`` is given, previously persisted measurements are
+        loaded immediately (missing files are fine); call :meth:`save_cache`
+        after a run to persist the updated cache.  ``use_cache=False``
+        disables caching outright -- including any persisted file -- so
+        every measurement demonstrably re-executes.
+        """
+        cache: Optional[RunCache] = None
+        if use_cache:
+            cache = RunCache(max_entries=max_entries, persist_path=cache_path)
+            if cache_path:
+                cache.load()
+        return cls(executor=get_executor(executor, workers=workers), cache=cache)
+
+    # -- execution ------------------------------------------------------
+
+    def run(
+        self,
+        program: PetaBricksProgram,
+        config: Configuration,
+        program_input: Any,
+        need_output: bool = False,
+    ) -> RunResult:
+        """Execute (or recall) a single run.
+
+        Measurement callers leave ``need_output`` False and may receive a
+        cached, output-free result; deployment-style callers pass True and
+        are guaranteed a result carrying the program's real output.
+        """
+        self.telemetry.count("runs_requested")
+        if self.cache is None:
+            self.telemetry.count("runs_executed")
+            return program.run(config, program_input)
+        key = run_key(program, config, program_input)
+        cached = self.cache.get(key, need_output=need_output)
+        if cached is not None:
+            self.telemetry.count("cache_hits")
+            return cached
+        self.telemetry.count("runs_executed")
+        result = program.run(config, program_input)
+        if need_output:
+            self.cache.put(key, result, has_output=True)
+            return result
+        stripped = _strip_output(result)
+        self.cache.put(key, stripped, has_output=False)
+        return stripped
+
+    def run_pairs(
+        self, program: PetaBricksProgram, pairs: Sequence[Task]
+    ) -> List[RunResult]:
+        """Execute a batch of (configuration, input) tasks, in order.
+
+        Cache hits are recalled, identical tasks within the batch execute
+        once, and the remaining misses go through the executor as one batch.
+        """
+        self.telemetry.count("runs_requested", len(pairs))
+        if self.cache is None:
+            results = self.executor.run_batch(program, pairs)
+            self.telemetry.count("runs_executed", len(pairs))
+            return results
+
+        keys = self._batch_keys(program, pairs)
+        resolved: Dict[str, RunResult] = {}
+        miss_keys: List[str] = []
+        miss_tasks: List[Task] = []
+        for key, task in zip(keys, pairs):
+            if key in resolved:
+                self.telemetry.count("cache_hits")
+                continue
+            cached = self.cache.get(key)
+            if cached is not None:
+                self.telemetry.count("cache_hits")
+                resolved[key] = cached
+                continue
+            resolved[key] = None  # type: ignore[assignment]  # placeholder, filled below
+            miss_keys.append(key)
+            miss_tasks.append(task)
+
+        if miss_tasks:
+            executed = self.executor.run_batch(program, miss_tasks)
+            self.telemetry.count("runs_executed", len(miss_tasks))
+            for key, result in zip(miss_keys, executed):
+                stripped = _strip_output(result)
+                self.cache.put(key, stripped, has_output=False)
+                resolved[key] = stripped
+        return [resolved[key] for key in keys]
+
+    @staticmethod
+    def _batch_keys(program: PetaBricksProgram, pairs: Sequence[Task]) -> List[str]:
+        """Run keys for a batch, hashing each distinct object only once.
+
+        An N x K measurement matrix holds only K distinct configurations and
+        N distinct inputs, so the program fingerprint is computed once and
+        config/input digests are memoized by object identity instead of
+        re-hashing full array content N*K times.
+        """
+        prefix = f"{program.name}:{program_fingerprint(program)}"
+        config_digests: Dict[int, str] = {}
+        input_digests: Dict[int, str] = {}
+        keys: List[str] = []
+        for config, program_input in pairs:
+            ck = config_digests.get(id(config))
+            if ck is None:
+                ck = config_digests.setdefault(id(config), config_key(config))
+            ik = input_digests.get(id(program_input))
+            if ik is None:
+                ik = input_digests.setdefault(id(program_input), input_key(program_input))
+            keys.append(f"{prefix}:{ck}:{ik}")
+        return keys
+
+    def measure(
+        self,
+        program: PetaBricksProgram,
+        configs: Sequence[Configuration],
+        inputs: Sequence[Any],
+    ) -> Dict[str, np.ndarray]:
+        """Run every configuration on every input; the paper's N x K matrix.
+
+        Returns ``{"times": (n, k), "accuracies": (n, k)}`` with input rows
+        and configuration columns, matching
+        :func:`repro.core.level1.measure_performance`.
+        """
+        n, k = len(inputs), len(configs)
+        pairs: List[Task] = [
+            (config, program_input) for config in configs for program_input in inputs
+        ]
+        results = self.run_pairs(program, pairs)
+        times = np.zeros((n, k))
+        accuracies = np.zeros((n, k))
+        for flat, result in enumerate(results):
+            j, i = divmod(flat, n)
+            times[i, j] = result.time
+            accuracies[i, j] = result.accuracy
+        return {"times": times, "accuracies": accuracies}
+
+    # -- management -----------------------------------------------------
+
+    def save_cache(self, path: Optional[str] = None) -> int:
+        """Persist the cache (no-op returning 0 when caching is disabled)."""
+        if self.cache is None:
+            return 0
+        return self.cache.save(path)
+
+    def stats(self) -> Dict[str, Any]:
+        """Executor, cache, and telemetry state as a plain dict."""
+        info: Dict[str, Any] = {
+            "executor": self.executor.name,
+            "telemetry": self.telemetry.snapshot(),
+        }
+        fallback = getattr(self.executor, "fallback_reason", None)
+        if fallback:
+            info["executor_fallback"] = fallback
+        if self.cache is not None:
+            info["cache"] = self.cache.stats()
+        return info
+
+    def close(self) -> None:
+        """Release executor resources (worker pools)."""
+        self.executor.close()
+
+    def __enter__(self) -> "Runtime":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        cache = "on" if self.cache is not None else "off"
+        return f"Runtime(executor={self.executor.name!r}, cache={cache})"
+
+
+#: Process-wide fallback runtime used when call sites do not pass one.
+_DEFAULT: Optional[Runtime] = None
+
+
+def default_runtime() -> Runtime:
+    """The shared serial, cache-less runtime (legacy-equivalent behaviour)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = Runtime(executor=SerialExecutor(), cache=None)
+    return _DEFAULT

@@ -1,0 +1,111 @@
+"""Lightweight runtime telemetry: run counters and per-phase wall time.
+
+The measurement runtime records how much work it actually did (runs
+requested vs. executed vs. served from cache) and how long each named phase
+of the pipeline took.  Telemetry is purely observational -- nothing in the
+system changes behaviour based on it -- so it can be shared freely between
+phases and experiments.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator
+
+
+@dataclass
+class PhaseStats:
+    """Accumulated wall time of one named phase.
+
+    Attributes:
+        calls: how many times the phase ran.
+        seconds: total wall-clock seconds across all calls.
+    """
+
+    calls: int = 0
+    seconds: float = 0.0
+
+
+@dataclass
+class Telemetry:
+    """Counters and phase timers for one measurement runtime.
+
+    Attributes:
+        counters: free-form named event counts (e.g. ``runs_executed``,
+            ``cache_hits``).
+        phases: wall-time accumulators keyed by phase name.
+    """
+
+    counters: Dict[str, int] = field(default_factory=dict)
+    phases: Dict[str, PhaseStats] = field(default_factory=dict)
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to the named counter."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    @contextlib.contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time the enclosed block under ``name`` (accumulating)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            stats = self.phases.setdefault(name, PhaseStats())
+            stats.calls += 1
+            stats.seconds += time.perf_counter() - start
+
+    @property
+    def runs_requested(self) -> int:
+        """Total program runs asked of the runtime (hits + executions)."""
+        return self.counters.get("runs_requested", 0)
+
+    @property
+    def runs_executed(self) -> int:
+        """Program runs that actually executed (cache misses)."""
+        return self.counters.get("runs_executed", 0)
+
+    @property
+    def cache_hits(self) -> int:
+        """Runs served from the cache."""
+        return self.counters.get("cache_hits", 0)
+
+    def hit_rate(self) -> float:
+        """Fraction of requested runs served from cache (0.0 when idle)."""
+        requested = self.runs_requested
+        if requested <= 0:
+            return 0.0
+        return self.cache_hits / requested
+
+    def merge(self, other: "Telemetry") -> None:
+        """Fold another telemetry object's counts and timings into this one."""
+        for name, value in other.counters.items():
+            self.count(name, value)
+        for name, stats in other.phases.items():
+            mine = self.phases.setdefault(name, PhaseStats())
+            mine.calls += stats.calls
+            mine.seconds += stats.seconds
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A plain-dict view suitable for reports and JSON."""
+        return {
+            "counters": dict(self.counters),
+            "phases": {
+                name: {"calls": stats.calls, "seconds": stats.seconds}
+                for name, stats in self.phases.items()
+            },
+            "hit_rate": self.hit_rate(),
+        }
+
+    def format_summary(self) -> str:
+        """A short human-readable summary (used by the CLI)."""
+        lines = [
+            f"runs: {self.runs_requested} requested, "
+            f"{self.runs_executed} executed, "
+            f"{self.cache_hits} cache hits ({self.hit_rate():.1%})"
+        ]
+        for name in sorted(self.phases):
+            stats = self.phases[name]
+            lines.append(f"phase {name}: {stats.seconds:.3f}s over {stats.calls} call(s)")
+        return "\n".join(lines)

@@ -93,6 +93,69 @@ class TestDecisionTree:
             DecisionTreeClassifier(min_samples_leaf=0)
 
 
+class TestDecisionTreeEdgeCases:
+    def test_single_class_tree_is_a_leaf(self):
+        """All-identical labels must produce a split-free tree."""
+        X = np.random.default_rng(1).normal(size=(40, 4))
+        y = np.zeros(40, dtype=int)
+        tree = DecisionTreeClassifier(max_depth=6).fit(X, y)
+        assert tree.depth() == 0
+        assert tree.n_leaves() == 1
+        assert np.all(tree.predict(X) == 0)
+
+    def test_single_class_with_cost_matrix(self):
+        """A cost matrix must not destabilize the degenerate one-class case."""
+        X = np.random.default_rng(2).normal(size=(30, 2))
+        y = np.full(30, 2)
+        cost = np.array(
+            [
+                [0.0, 5.0, 9.0],
+                [5.0, 0.0, 5.0],
+                [9.0, 5.0, 0.0],
+            ]
+        )
+        tree = DecisionTreeClassifier(cost_matrix=cost).fit(X, y)
+        assert np.all(tree.predict(X) == 2)
+
+    def test_constant_features_produce_no_split(self):
+        """Zero-information (constant) feature columns admit no threshold."""
+        X = np.ones((50, 3))
+        y = np.random.default_rng(3).integers(0, 2, size=50)
+        tree = DecisionTreeClassifier(max_depth=5).fit(X, y)
+        assert tree.depth() == 0
+        majority = np.argmax(np.bincount(y))
+        assert np.all(tree.predict(X) == majority)
+
+    def test_zero_cost_matrix_fits_without_splitting(self):
+        """An all-zero cost matrix makes every impurity zero: no gain, no split."""
+        X, y = make_separable(n=60)
+        cost = np.zeros((2, 2))
+        tree = DecisionTreeClassifier(max_depth=4, cost_matrix=cost).fit(X, y)
+        assert tree.depth() == 0
+        predictions = tree.predict(X)
+        assert set(predictions.tolist()) <= {0, 1}
+
+    def test_zero_cost_column_attracts_predictions(self):
+        """A class whose prediction-cost column is zero is always the
+        cost-minimizing leaf prediction, however rare it is."""
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(60, 2))
+        y = np.array([1] * 59 + [0])
+        cost = np.array(
+            [
+                [0.0, 4.0],
+                [0.0, 0.0],  # predicting class 0 never costs anything
+            ]
+        )
+        tree = DecisionTreeClassifier(max_depth=3, cost_matrix=cost).fit(X, y)
+        assert np.all(tree.predict(X) == 0)
+
+    def test_mismatched_cost_matrix_rejected(self):
+        X, y = make_separable(n=30)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(cost_matrix=np.zeros((1, 1))).fit(X, y)
+
+
 @settings(max_examples=30, deadline=None)
 @given(
     n=st.integers(8, 80),

@@ -78,6 +78,40 @@ class TestKMeans:
         assert np.allclose(result.centroids[0], X.mean(axis=0))
 
 
+class TestKMeansEdgeCases:
+    def test_more_clusters_than_points(self):
+        """K > n_points must degrade gracefully to one cluster per point."""
+        X = np.array([[0.0, 0.0], [5.0, 5.0], [10.0, 0.0]])
+        result = KMeans(n_clusters=10, random_state=0).fit(X)
+        assert result.k == 3
+        assert result.labels.shape == (3,)
+        assert len(set(result.labels.tolist())) == 3
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_more_clusters_than_distinct_points(self):
+        """Duplicates cap the effective K at the number of distinct points."""
+        X = np.array([[1.0, 1.0]] * 4 + [[2.0, 2.0]] * 4)
+        result = KMeans(n_clusters=5, random_state=0).fit(X)
+        assert result.k == 2
+        assert result.inertia == pytest.approx(0.0)
+        # Duplicates land in the same cluster as their twin.
+        assert len(set(result.labels[:4].tolist())) == 1
+        assert len(set(result.labels[4:].tolist())) == 1
+
+    def test_duplicates_do_not_break_kmeans_plus_plus(self):
+        """Heavy duplication exercises the total<=0 branch of the seeding."""
+        X = np.vstack([np.full((20, 2), 1.0), np.full((20, 2), -1.0)])
+        result = KMeans(n_clusters=2, random_state=3).fit(X)
+        centroids = np.sort(result.centroids[:, 0])
+        assert np.allclose(centroids, [-1.0, 1.0])
+
+    def test_single_point(self):
+        X = np.array([[4.0, 2.0]])
+        result = KMeans(n_clusters=3, random_state=0).fit(X)
+        assert result.k == 1
+        assert np.allclose(result.centroids[0], [4.0, 2.0])
+
+
 @settings(max_examples=25, deadline=None)
 @given(
     n_points=st.integers(5, 60),

@@ -1,0 +1,123 @@
+"""Tests for the content-keyed run cache."""
+
+import numpy as np
+import pytest
+
+from repro.lang.program import RunResult
+from repro.runtime import RunCache
+from repro.runtime.cache import _FORMAT_VERSION
+
+
+def result(time=1.0, accuracy=1.0, output=None, extra=None):
+    return RunResult(output=output, time=time, accuracy=accuracy, extra=extra or {})
+
+
+class TestInMemory:
+    def test_hit_returns_identical_object(self):
+        cache = RunCache()
+        stored = result(time=42.0, output=[1, 2, 3])
+        cache.put("k", stored)
+        assert cache.get("k") is stored
+        assert cache.get("k") is stored  # stable across repeated hits
+
+    def test_miss_returns_none_and_counts(self):
+        cache = RunCache()
+        assert cache.get("absent") is None
+        assert cache.stats()["misses"] == 1
+        assert cache.stats()["hits"] == 0
+
+    def test_need_output_treats_outputless_entry_as_miss(self):
+        cache = RunCache()
+        cache.put("k", result(output=None), has_output=False)
+        assert cache.get("k") is not None
+        assert cache.get("k", need_output=True) is None
+
+    def test_need_output_hit_when_output_stored(self):
+        cache = RunCache()
+        stored = result(output="payload")
+        cache.put("k", stored, has_output=True)
+        assert cache.get("k", need_output=True) is stored
+
+    def test_put_overwrites(self):
+        cache = RunCache()
+        cache.put("k", result(time=1.0))
+        replacement = result(time=2.0)
+        cache.put("k", replacement)
+        assert len(cache) == 1
+        assert cache.get("k") is replacement
+
+
+class TestEviction:
+    def test_lru_eviction_order(self):
+        cache = RunCache(max_entries=2)
+        cache.put("a", result(time=1.0))
+        cache.put("b", result(time=2.0))
+        cache.get("a")  # refresh a; b is now least recent
+        cache.put("c", result(time=3.0))
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+        assert cache.stats()["evictions"] == 1
+
+    def test_unbounded_by_default(self):
+        cache = RunCache()
+        for i in range(1000):
+            cache.put(f"k{i}", result(time=float(i)))
+        assert len(cache) == 1000
+        assert cache.stats()["evictions"] == 0
+
+    def test_invalid_max_entries_rejected(self):
+        with pytest.raises(ValueError):
+            RunCache(max_entries=0)
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        cache = RunCache(persist_path=path)
+        cache.put("x", result(time=3.5, accuracy=0.75, extra={"note": "hi"}))
+        cache.put("y", result(time=1.25, accuracy=1.0, output=np.arange(3)))
+        assert cache.save() == 2
+
+        fresh = RunCache(persist_path=path)
+        assert fresh.load() == 2
+        x = fresh.get("x")
+        assert x.time == 3.5
+        assert x.accuracy == 0.75
+        assert x.extra == {"note": "hi"}
+        # Outputs are never persisted; reloaded entries are measurement-only.
+        assert fresh.get("y").output is None
+        assert fresh.get("y", need_output=True) is None
+
+    def test_load_missing_file_is_empty(self, tmp_path):
+        cache = RunCache(persist_path=str(tmp_path / "absent.json"))
+        assert cache.load() == 0
+        assert len(cache) == 0
+
+    def test_load_tolerates_corrupt_file(self, tmp_path):
+        """A bad cache file degrades to a cold start, never a crash."""
+        path = tmp_path / "cache.json"
+        for garbage in ("not json{{", "[1, 2, 3]", '{"version": 1, "entries": {"k": {}}}'):
+            path.write_text(garbage)
+            cache = RunCache(persist_path=str(path))
+            assert cache.load() == 0
+
+    def test_load_rejects_unknown_version(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text('{"version": %d, "entries": {"k": {"time": 1, "accuracy": 1}}}'
+                        % (_FORMAT_VERSION + 1))
+        cache = RunCache(persist_path=str(path))
+        assert cache.load() == 0
+
+    def test_json_unsafe_extras_dropped(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        cache = RunCache(persist_path=path)
+        cache.put("k", result(extra={"ok": 1, "bad": np.arange(2)}))
+        cache.save()
+        fresh = RunCache(persist_path=path)
+        fresh.load()
+        assert fresh.get("k").extra == {"ok": 1}
+
+    def test_save_without_path_rejected(self):
+        with pytest.raises(ValueError):
+            RunCache().save()

@@ -1,0 +1,132 @@
+"""Tests for the serial / thread-pool / process-pool executors."""
+
+import numpy as np
+import pytest
+
+from repro.benchmarks_suite import get_benchmark
+from repro.lang.config import ConfigurationSpace, IntegerParameter
+from repro.lang.cost import charge
+from repro.lang.program import PetaBricksProgram
+from repro.runtime import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    get_executor,
+)
+
+
+@pytest.fixture(scope="module")
+def sort_setup():
+    variant = get_benchmark("sort2")
+    program = variant.benchmark.program
+    inputs = variant.benchmark.generate_inputs(6, variant.variant, seed=0)
+    configs = [program.default_configuration()]
+    import random
+
+    configs.append(program.config_space.sample(random.Random(7)))
+    tasks = [(config, program_input) for config in configs for program_input in inputs]
+    return program, tasks
+
+
+def reference_results(program, tasks):
+    return SerialExecutor().run_batch(program, tasks)
+
+
+class TestSerialExecutor:
+    def test_matches_direct_runs(self, sort_setup):
+        program, tasks = sort_setup
+        results = SerialExecutor().run_batch(program, tasks)
+        for (config, program_input), result in zip(tasks, results):
+            direct = program.run(config, program_input)
+            assert result.time == direct.time
+            assert result.accuracy == direct.accuracy
+
+    def test_empty_batch(self, sort_setup):
+        program, _ = sort_setup
+        assert SerialExecutor().run_batch(program, []) == []
+
+
+class TestThreadExecutor:
+    def test_matches_serial(self, sort_setup):
+        program, tasks = sort_setup
+        expected = reference_results(program, tasks)
+        with ThreadExecutor(workers=4) as executor:
+            results = executor.run_batch(program, tasks)
+        assert [r.time for r in results] == [r.time for r in expected]
+        assert [r.accuracy for r in results] == [r.accuracy for r in expected]
+
+    def test_cost_accounting_isolated_per_run(self, sort_setup):
+        """Concurrent runs must not leak charges into each other's counters."""
+        space = ConfigurationSpace([IntegerParameter("units", 1, 1000)])
+
+        def run(config, _input):
+            charge(float(config["units"]))
+            return config["units"]
+
+        program = PetaBricksProgram("charger", space, run)
+        tasks = [
+            (program.default_configuration().with_updates(units=units), None)
+            for units in range(1, 201)
+        ]
+        with ThreadExecutor(workers=8) as executor:
+            results = executor.run_batch(program, tasks)
+        assert [r.time for r in results] == [float(u) for u in range(1, 201)]
+
+    def test_single_task_runs_inline(self, sort_setup):
+        program, tasks = sort_setup
+        executor = ThreadExecutor(workers=2)
+        results = executor.run_batch(program, tasks[:1])
+        assert len(results) == 1
+        assert executor._pool is None  # no pool spun up for one task
+        executor.close()
+
+
+class TestProcessExecutor:
+    def test_matches_serial(self, sort_setup):
+        program, tasks = sort_setup
+        expected = reference_results(program, tasks)
+        with ProcessExecutor(workers=2) as executor:
+            results = executor.run_batch(program, tasks)
+            assert executor.fallback_reason is None
+        assert [r.time for r in results] == [r.time for r in expected]
+        assert [r.accuracy for r in results] == [r.accuracy for r in expected]
+
+    def test_falls_back_to_serial_on_unpicklable_program(self):
+        space = ConfigurationSpace([IntegerParameter("x", 1, 5)])
+        # A lambda run function cannot be pickled into worker processes.
+        program = PetaBricksProgram(
+            "local", space, lambda config, _input: charge(float(config["x"]))
+        )
+        tasks = [(program.default_configuration(), None)] * 3
+        with ProcessExecutor(workers=2) as executor:
+            results = executor.run_batch(program, tasks)
+            assert executor.fallback_reason is not None
+            assert "not picklable" in executor.fallback_reason
+        assert [r.time for r in results] == [3.0, 3.0, 3.0]
+
+    def test_pool_reused_across_batches(self, sort_setup):
+        program, tasks = sort_setup
+        with ProcessExecutor(workers=2) as executor:
+            executor.run_batch(program, tasks[:3])
+            pool = executor._pool
+            executor.run_batch(program, tasks[3:6])
+            assert executor._pool is pool
+
+
+class TestGetExecutor:
+    def test_names(self):
+        assert isinstance(get_executor("serial"), SerialExecutor)
+        assert isinstance(get_executor("thread"), ThreadExecutor)
+        assert isinstance(get_executor("process"), ProcessExecutor)
+
+    def test_worker_suffix(self):
+        executor = get_executor("thread:3")
+        assert executor.workers == 3
+
+    def test_explicit_workers_win_over_suffix(self):
+        executor = get_executor("process:3", workers=5)
+        assert executor.workers == 5
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            get_executor("quantum")

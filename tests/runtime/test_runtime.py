@@ -1,0 +1,211 @@
+"""Tests for the Runtime facade (cache-aware batching) and run keys."""
+
+import numpy as np
+import pytest
+
+from repro.benchmarks_suite import get_benchmark
+from repro.lang.config import ConfigurationSpace, IntegerParameter
+from repro.lang.cost import charge
+from repro.lang.program import PetaBricksProgram
+from repro.runtime import (
+    RunCache,
+    Runtime,
+    SerialExecutor,
+    config_key,
+    input_key,
+    program_fingerprint,
+    run_key,
+)
+
+
+def counting_program(name="counted"):
+    """A tiny program that records how many times it really executed."""
+    calls = []
+
+    def run(config, program_input):
+        calls.append((config["x"], program_input))
+        charge(float(config["x"]) * (1.0 + (program_input or 0)))
+        return config["x"]
+
+    space = ConfigurationSpace([IntegerParameter("x", 1, 10)])
+    return PetaBricksProgram(name, space, run), calls
+
+
+class TestRuntimeRun:
+    def test_cache_hit_returns_identical_result(self):
+        program, calls = counting_program()
+        runtime = Runtime(cache=RunCache())
+        config = program.default_configuration()
+        first = runtime.run(program, config, 3)
+        second = runtime.run(program, config, 3)
+        assert second is first
+        assert len(calls) == 1
+        assert runtime.telemetry.cache_hits == 1
+        assert runtime.telemetry.runs_executed == 1
+
+    def test_no_cache_always_executes(self):
+        program, calls = counting_program()
+        runtime = Runtime(cache=None)
+        config = program.default_configuration()
+        runtime.run(program, config, 3)
+        runtime.run(program, config, 3)
+        assert len(calls) == 2
+        assert runtime.telemetry.runs_executed == 2
+
+    def test_need_output_reexecutes_stripped_entry(self):
+        program, calls = counting_program()
+        runtime = Runtime(cache=RunCache())
+        config = program.default_configuration()
+        measured = runtime.run(program, config, 3)
+        assert measured.output is None  # measurement runs don't keep outputs
+        full = runtime.run(program, config, 3, need_output=True)
+        assert full.output == config["x"]
+        assert len(calls) == 2
+        # The refreshed entry now serves both kinds of request.
+        assert runtime.run(program, config, 3, need_output=True) is full
+        assert len(calls) == 2
+
+
+class TestRunPairs:
+    def test_duplicates_execute_once_under_cache(self):
+        program, calls = counting_program()
+        runtime = Runtime(cache=RunCache())
+        config = program.default_configuration()
+        results = runtime.run_pairs(program, [(config, 1)] * 5)
+        assert len(results) == 5
+        assert len({id(r) for r in results}) == 1
+        assert len(calls) == 1
+        assert runtime.telemetry.runs_requested == 5
+        assert runtime.telemetry.cache_hits == 4
+
+    def test_duplicates_all_execute_without_cache(self):
+        program, calls = counting_program()
+        runtime = Runtime(cache=None)
+        config = program.default_configuration()
+        runtime.run_pairs(program, [(config, 1)] * 5)
+        assert len(calls) == 5
+
+    def test_order_preserved(self):
+        program, _ = counting_program()
+        configs = [
+            program.default_configuration().with_updates(x=x) for x in (2, 7, 4)
+        ]
+        runtime = Runtime(cache=RunCache())
+        results = runtime.run_pairs(program, [(c, 0) for c in configs])
+        assert [r.time for r in results] == [2.0, 7.0, 4.0]
+
+
+class TestMeasure:
+    def test_matrix_matches_direct_loops(self):
+        variant = get_benchmark("sort2")
+        program = variant.benchmark.program
+        inputs = variant.benchmark.generate_inputs(5, variant.variant, seed=1)
+        configs = [program.default_configuration()]
+        runtime = Runtime(cache=RunCache())
+        measured = runtime.measure(program, configs, inputs)
+        assert measured["times"].shape == (5, 1)
+        for i, program_input in enumerate(inputs):
+            direct = program.run(configs[0], program_input)
+            assert measured["times"][i, 0] == direct.time
+            assert measured["accuracies"][i, 0] == direct.accuracy
+
+    def test_warm_cache_executes_nothing(self):
+        program, calls = counting_program()
+        configs = [program.default_configuration().with_updates(x=x) for x in (1, 2)]
+        runtime = Runtime(cache=RunCache())
+        first = runtime.measure(program, configs, [0, 1, 2])
+        executed = len(calls)
+        second = runtime.measure(program, configs, [0, 1, 2])
+        assert len(calls) == executed
+        assert np.array_equal(first["times"], second["times"])
+        assert runtime.stats()["telemetry"]["hit_rate"] == pytest.approx(0.5)
+
+
+class TestPersistedRuntime:
+    def test_create_loads_and_saves_cache(self, tmp_path):
+        path = str(tmp_path / "runs.json")
+        program, calls = counting_program()
+        config = program.default_configuration()
+
+        runtime = Runtime.create(cache_path=path)
+        runtime.run(program, config, 1)
+        assert runtime.save_cache() == 1
+
+        program2, calls2 = counting_program()
+        warm = Runtime.create(cache_path=path)
+        result = warm.run(program2, config, 1)
+        assert calls2 == []  # served from disk, no execution
+        assert result.time == program.run(config, 1).time
+
+    def test_save_cache_without_cache_is_noop(self):
+        assert Runtime(cache=None).save_cache() == 0
+
+    def test_use_cache_false_wins_over_cache_path(self, tmp_path):
+        """--no-cache must disable even a persisted cache file."""
+        path = str(tmp_path / "runs.json")
+        program, _ = counting_program()
+        config = program.default_configuration()
+        seeded = Runtime.create(cache_path=path)
+        seeded.run(program, config, 1)
+        seeded.save_cache()
+
+        uncached = Runtime.create(use_cache=False, cache_path=path)
+        assert uncached.cache is None
+        _, calls = counting_program()  # fresh call log, same behaviour
+        uncached.run(program, config, 1)
+        assert uncached.telemetry.runs_executed == 1
+        assert uncached.telemetry.cache_hits == 0
+
+
+class TestKeys:
+    def test_same_content_same_key(self):
+        variant = get_benchmark("sort2")
+        program = variant.benchmark.program
+        config = program.default_configuration()
+        a = np.array([3.0, 1.0, 2.0])
+        b = np.array([3.0, 1.0, 2.0])
+        assert run_key(program, config, a) == run_key(program, config, b)
+
+    def test_different_input_different_key(self):
+        assert input_key(np.array([1.0, 2.0])) != input_key(np.array([2.0, 1.0]))
+        assert input_key(None) != input_key(0)
+
+    def test_different_config_different_key(self):
+        program, _ = counting_program()
+        base = program.default_configuration()
+        assert config_key(base) != config_key(base.with_updates(x=base["x"] + 1))
+
+    def test_same_name_different_behaviour_distinct_fingerprint(self):
+        space = ConfigurationSpace([IntegerParameter("x", 1, 5)])
+
+        def run_a(config, _input):
+            charge(1.0)
+
+        def run_b(config, _input):
+            charge(2.0)
+
+        a = PetaBricksProgram("twin", space, run_a)
+        b = PetaBricksProgram("twin", space, run_b)
+        assert program_fingerprint(a) != program_fingerprint(b)
+
+    def test_different_accuracy_metric_distinct_fingerprint(self):
+        from repro.lang.accuracy import AccuracyMetric
+
+        space = ConfigurationSpace([IntegerParameter("x", 1, 5)])
+
+        def run(config, _input):
+            charge(1.0)
+
+        def strict(_program_input, _output):
+            return 0.5
+
+        a = PetaBricksProgram("metric-twin", space, run)
+        b = PetaBricksProgram(
+            "metric-twin", space, run, accuracy_metric=AccuracyMetric("strict", strict)
+        )
+        assert program_fingerprint(a) != program_fingerprint(b)
+
+    def test_shared_program_shared_fingerprint(self):
+        sort1 = get_benchmark("sort1").benchmark.program
+        sort2 = get_benchmark("sort2").benchmark.program
+        assert program_fingerprint(sort1) == program_fingerprint(sort2)

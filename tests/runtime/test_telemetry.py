@@ -1,0 +1,76 @@
+"""Tests for runtime telemetry counters and phase timers."""
+
+import pytest
+
+from repro.runtime import Telemetry
+
+
+class TestCounters:
+    def test_count_accumulates(self):
+        telemetry = Telemetry()
+        telemetry.count("runs_executed")
+        telemetry.count("runs_executed", 4)
+        assert telemetry.runs_executed == 5
+
+    def test_hit_rate(self):
+        telemetry = Telemetry()
+        assert telemetry.hit_rate() == 0.0
+        telemetry.count("runs_requested", 10)
+        telemetry.count("cache_hits", 3)
+        assert telemetry.hit_rate() == pytest.approx(0.3)
+
+
+class TestPhases:
+    def test_phase_records_calls_and_time(self):
+        telemetry = Telemetry()
+        with telemetry.phase("tune"):
+            pass
+        with telemetry.phase("tune"):
+            pass
+        stats = telemetry.phases["tune"]
+        assert stats.calls == 2
+        assert stats.seconds >= 0.0
+
+    def test_phase_records_even_on_exception(self):
+        telemetry = Telemetry()
+        with pytest.raises(RuntimeError):
+            with telemetry.phase("boom"):
+                raise RuntimeError("x")
+        assert telemetry.phases["boom"].calls == 1
+
+
+class TestMergeAndSnapshot:
+    def test_merge(self):
+        a = Telemetry()
+        a.count("runs_requested", 2)
+        with a.phase("measure"):
+            pass
+        b = Telemetry()
+        b.count("runs_requested", 3)
+        b.count("cache_hits", 1)
+        with b.phase("measure"):
+            pass
+        a.merge(b)
+        assert a.runs_requested == 5
+        assert a.cache_hits == 1
+        assert a.phases["measure"].calls == 2
+
+    def test_snapshot_shape(self):
+        telemetry = Telemetry()
+        telemetry.count("runs_requested", 4)
+        telemetry.count("cache_hits", 1)
+        with telemetry.phase("p"):
+            pass
+        snapshot = telemetry.snapshot()
+        assert snapshot["counters"]["runs_requested"] == 4
+        assert snapshot["phases"]["p"]["calls"] == 1
+        assert snapshot["hit_rate"] == pytest.approx(0.25)
+
+    def test_format_summary_mentions_runs_and_phases(self):
+        telemetry = Telemetry()
+        telemetry.count("runs_requested", 2)
+        with telemetry.phase("measure"):
+            pass
+        summary = telemetry.format_summary()
+        assert "2 requested" in summary
+        assert "phase measure" in summary
