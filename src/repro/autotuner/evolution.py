@@ -134,9 +134,9 @@ class EvolutionaryAutotuner:
             seeds.append(space.sample(rng))
 
         evaluated: Dict[Configuration, CandidateEvaluation] = {}
-        population: List[CandidateEvaluation] = []
-        for config in seeds[: self.population_size]:
-            population.append(self._evaluate_cached(objective, config, evaluated))
+        population = self._evaluate_batch(
+            objective, seeds[: self.population_size], evaluated
+        )
 
         population.sort(key=lambda e: e.sort_key())
         incumbent = population[0]
@@ -146,10 +146,15 @@ class EvolutionaryAutotuner:
 
         for _generation in range(self.max_generations):
             generations_run += 1
-            offspring: List[CandidateEvaluation] = []
-            for _ in range(self.offspring_per_generation):
-                child = self._breed(population, space, rng)
-                offspring.append(self._evaluate_cached(objective, child, evaluated))
+            # Breed the whole generation first (pure RNG work), then evaluate
+            # it as one batch over the runtime's executor.  Breeding depends
+            # only on the *previous* population, so this is exactly the
+            # serial child-by-child loop with the measurements hoisted out.
+            children = [
+                self._breed(population, space, rng)
+                for _ in range(self.offspring_per_generation)
+            ]
+            offspring = self._evaluate_batch(objective, children, evaluated)
 
             population = sorted(
                 population + offspring, key=lambda e: e.sort_key()
@@ -198,13 +203,23 @@ class EvolutionaryAutotuner:
         return min(contestants, key=lambda e: e.sort_key())
 
     @staticmethod
-    def _evaluate_cached(
+    def _evaluate_batch(
         objective: TuningObjective,
-        config: Configuration,
+        configs: Sequence[Configuration],
         cache: Dict[Configuration, CandidateEvaluation],
-    ) -> CandidateEvaluation:
-        if config in cache:
-            return cache[config]
-        evaluation = objective.evaluate(config)
-        cache[config] = evaluation
-        return evaluation
+    ) -> List[CandidateEvaluation]:
+        """Evaluate ``configs`` through the memo, batching the fresh ones.
+
+        Only configurations not yet in the memo reach the objective (once
+        each, preserving the reported evaluation budget of the serial
+        child-by-child loop); everything fresh goes through
+        :meth:`TuningObjective.evaluate_many` as a single parallel batch.
+        """
+        fresh: List[Configuration] = []
+        for config in configs:
+            if config not in cache and config not in fresh:
+                fresh.append(config)
+        if fresh:
+            for config, evaluation in zip(fresh, objective.evaluate_many(fresh)):
+                cache[config] = evaluation
+        return [cache[config] for config in configs]

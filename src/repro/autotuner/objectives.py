@@ -83,11 +83,43 @@ class TuningObjective:
 
     def evaluate(self, config: Configuration) -> CandidateEvaluation:
         """Run the program with ``config`` on every tuning input (one batch)."""
-        pairs = [(config, tuning_input) for tuning_input in self.tuning_inputs]
-        results = self.runtime.run_pairs(self.program, pairs)
+        return self.evaluate_many([config])[0]
+
+    def evaluate_many(self, configs: Sequence[Configuration]) -> List[CandidateEvaluation]:
+        """Evaluate a whole generation of configurations at once.
+
+        All (configuration, input) runs go through the runtime as one batch
+        (``phase tuner.objective``), so candidate evaluations -- the
+        autotuner's hot loop -- fan out over the configured executor while
+        keeping every run in the content-keyed run cache (deduplicated
+        within the batch, shared with other pipeline stages, and persisted
+        via ``cache_path`` like any other measurement).  Results come back
+        in ``configs`` order, run for run the same sequence a serial
+        ``[evaluate(c) for c in configs]`` loop would have produced.
+        """
+        pairs = [
+            (config, tuning_input)
+            for config in configs
+            for tuning_input in self.tuning_inputs
+        ]
+        with self.runtime.telemetry.phase("tuner.objective"):
+            results = self.runtime.run_pairs(self.program, pairs)
         self.evaluations_performed += len(pairs)
-        times: List[float] = [result.time for result in results]
-        accuracies: List[float] = [result.accuracy for result in results]
+        n = len(self.tuning_inputs)
+        return [
+            self._assemble(
+                config,
+                [result.time for result in chunk],
+                [result.accuracy for result in chunk],
+            )
+            for config, chunk in zip(
+                configs, (results[i : i + n] for i in range(0, len(results), n))
+            )
+        ]
+
+    def _assemble(
+        self, config: Configuration, times: List[float], accuracies: List[float]
+    ) -> CandidateEvaluation:
         mean_time = sum(times) / len(times)
         satisfaction = self.requirement.satisfaction_rate(accuracies)
         return CandidateEvaluation(

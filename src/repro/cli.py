@@ -93,6 +93,12 @@ def _print_runtime_stats(args: argparse.Namespace, stats: dict) -> None:
         f"{counters.get('runs_executed', 0)} executed, "
         f"{counters.get('cache_hits', 0)} cache hits"
     )
+    if counters.get("tasks_requested"):
+        print(
+            f"  tasks: {counters.get('tasks_requested', 0)} requested, "
+            f"{counters.get('tasks_executed', 0)} executed, "
+            f"{counters.get('task_cache_hits', 0)} cache hits"
+        )
     for name, phase in sorted(telemetry.get("phases", {}).items()):
         print(f"  phase {name}: {phase['seconds']:.3f}s over {phase['calls']} call(s)")
 

@@ -18,10 +18,23 @@ Steps (Section 3.2):
    few posterior thresholds.
 4. **Production-classifier selection** -- every candidate is scored on the
    test rows with the efficacy objective of :mod:`repro.core.selection`.
+
+The candidate search (steps 3-4) is expressed as a batch of content-keyed
+tasks over the measurement runtime (:meth:`repro.runtime.Runtime.run_tasks`):
+each candidate is described by a picklable :class:`CandidateSpec`, fitted
+and scored by a module-level task function, and the batch fans out over
+whatever executor the runtime carries.  Determinism is preserved by
+construction -- candidates are enumerated, reassembled, and compared in
+*enumeration order* (a deterministic key independent of completion order),
+so the serial path, the thread pool, and the process pool all select the
+identical production classifier with identical scores.  Per-candidate cache
+keys (dataset digest + split + spec) let a warm runtime skip retraining
+entirely.
 """
 
 from __future__ import annotations
 
+import functools
 import itertools
 import random
 from dataclasses import dataclass, field
@@ -40,9 +53,11 @@ from repro.core.classifiers import (
 from repro.core.dataset import PerformanceDataset
 from repro.core.selection import (
     ClassifierEvaluation,
+    cross_validate_classifier,
     evaluate_classifier,
     select_production_classifier,
 )
+from repro.runtime import Runtime, TaskSpec, content_key, default_runtime
 
 
 @dataclass
@@ -64,6 +79,11 @@ class Level2Config:
         incremental_thresholds: posterior thresholds at which to instantiate
             incremental feature-examination classifiers.
         seed: RNG seed for subset sampling.
+        cv_folds: when > 0, the selected production candidate is additionally
+            scored with stratified k-fold cross-validation on the training
+            rows (fanned out over the runtime's executor); the per-fold costs
+            land in :attr:`Level2Result.production_cv_costs`.  0 (the
+            default) skips the extra work and keeps legacy behaviour.
     """
 
     accuracy_cost_weight: float = 0.5
@@ -72,6 +92,7 @@ class Level2Config:
     tree_max_depth: int = 8
     incremental_thresholds: Tuple[float, ...] = (0.5, 0.7, 0.9)
     seed: int = 0
+    cv_folds: int = 0
 
 
 @dataclass
@@ -89,6 +110,9 @@ class Level2Result:
             from the landmark of their Level-1 cluster (the paper reports
             73.4% for Kmeans); ``None`` when the Level-1 cluster mapping was
             not supplied.
+        production_cv_costs: per-fold performance costs of the production
+            candidate under cross-validation (only when
+            ``Level2Config.cv_folds > 0``).
     """
 
     labels: np.ndarray
@@ -99,6 +123,7 @@ class Level2Result:
     train_rows: np.ndarray
     test_rows: np.ndarray
     relabel_shift: Optional[float] = None
+    production_cv_costs: Optional[List[float]] = None
 
 
 def compute_labels(dataset: PerformanceDataset) -> np.ndarray:
@@ -172,6 +197,8 @@ def enumerate_feature_subsets(
     ``max_subsets`` a deterministic random sample is drawn, always keeping
     the all-cheapest-level and all-top-level subsets.
     """
+    if max_subsets < 1:
+        raise ValueError("max_subsets must be >= 1")
     properties: Dict[str, List[str]] = {}
     for name in dataset.feature_names:
         prop, _, _ = name.rpartition("@")
@@ -189,28 +216,99 @@ def enumerate_feature_subsets(
 
     cheapest = tuple(levels[0] for levels in properties.values())
     richest = tuple(levels[-1] for levels in properties.values())
+    # The sentinels coincide when every property has a single level; keeping
+    # both would emit a duplicate (and undercut the cap).
+    sentinels = [cheapest] if richest == cheapest else [cheapest, richest]
     rng = random.Random(seed)
-    sampled = rng.sample(subsets, max_subsets - 2)
-    result = [cheapest, richest] + [s for s in sampled if s not in (cheapest, richest)]
+    sampled = rng.sample(subsets, max(0, max_subsets - len(sentinels)))
+    result = sentinels + [s for s in sampled if s not in sentinels]
+    if len(result) < max_subsets:
+        # The sample overlapped the sentinels; top up deterministically so
+        # the cap is always used in full.
+        used = set(result)
+        for subset in subsets:
+            if len(result) >= max_subsets:
+                break
+            if subset not in used:
+                result.append(subset)
+                used.add(subset)
     return result[:max_subsets]
 
 
-def train_classifier_zoo(
+@dataclass(frozen=True)
+class CandidateSpec:
+    """Picklable description of one candidate classifier.
+
+    The unit of work of the Level-2 search: a spec plus its cost matrix is
+    everything a worker needs to instantiate, fit, and score a candidate,
+    and everything the task cache needs to key the result.
+
+    Attributes:
+        family: ``"max_apriori"``, ``"subset_tree"``, ``"all_features"``,
+            or ``"incremental"``.
+        name: the candidate's unique name within the run.
+        feature_names: the feature subset (``subset_tree``) or the ordered
+            acquisition pool (``incremental``); empty otherwise.
+        max_depth: decision-tree depth cap (tree families).
+        posterior_threshold: early-stopping threshold (``incremental``).
+    """
+
+    family: str
+    name: str
+    feature_names: Tuple[str, ...] = ()
+    max_depth: int = 8
+    posterior_threshold: float = 0.5
+
+
+def instantiate_candidate(
+    spec: CandidateSpec,
+    dataset: PerformanceDataset,
+    cost_matrix: Optional[np.ndarray],
+) -> CandidateClassifier:
+    """Build the (unfitted) classifier a spec describes."""
+    if spec.family == "max_apriori":
+        return MaxAprioriClassifier()
+    if spec.family == "subset_tree":
+        return SubsetDecisionTreeClassifier(
+            feature_names=spec.feature_names,
+            cost_matrix=cost_matrix,
+            max_depth=spec.max_depth,
+            name=spec.name,
+        )
+    if spec.family == "all_features":
+        return AllFeaturesClassifier(
+            dataset.feature_names, cost_matrix=cost_matrix, max_depth=spec.max_depth
+        )
+    if spec.family == "incremental":
+        return IncrementalFeatureExaminationClassifier(
+            feature_names=spec.feature_names,
+            posterior_threshold=spec.posterior_threshold,
+            name=spec.name,
+        )
+    raise ValueError(f"unknown candidate family {spec.family!r}")
+
+
+def enumerate_candidates(
     dataset: PerformanceDataset,
     labels: np.ndarray,
-    train_rows: Sequence[int],
     cost_matrix: np.ndarray,
     config: Level2Config,
-) -> List[CandidateClassifier]:
-    """Instantiate and fit every candidate classifier on the training rows."""
-    classifiers: List[CandidateClassifier] = []
+) -> List[Tuple[CandidateSpec, Optional[np.ndarray]]]:
+    """Enumerate every candidate of the zoo, in the canonical order.
 
-    classifiers.append(MaxAprioriClassifier().fit(dataset, train_rows, labels))
+    Returns ``(spec, cost_matrix)`` pairs.  The order -- max-apriori, then
+    subset trees (per subset, per lambda), the all-features tree, and the
+    incremental classifiers -- is the deterministic key the whole search
+    sorts by: selection tie-breaks resolve by position in this list, so it
+    must not depend on executor scheduling.
+    """
+    candidates: List[Tuple[CandidateSpec, Optional[np.ndarray]]] = []
+    candidates.append((CandidateSpec(family="max_apriori", name="max_apriori"), None))
 
     # For variable-accuracy programs also train accuracy-conservative trees
     # (heavier lambda), giving the selection step valid candidates even when
     # the default-lambda trees miss the satisfaction threshold.
-    cost_matrices = [("", cost_matrix)]
+    cost_matrices: List[Tuple[str, np.ndarray]] = [("", cost_matrix)]
     if dataset.requirement.enabled:
         for weight in config.conservative_cost_weights:
             cost_matrices.append(
@@ -223,30 +321,128 @@ def train_classifier_zoo(
     subsets = enumerate_feature_subsets(dataset, config.max_subsets, seed=config.seed)
     for subset in subsets:
         for suffix, matrix in cost_matrices:
-            classifier = SubsetDecisionTreeClassifier(
-                feature_names=subset,
-                cost_matrix=matrix,
-                max_depth=config.tree_max_depth,
+            spec = CandidateSpec(
+                family="subset_tree",
                 name="dtree[" + ",".join(subset) + "]" + suffix,
+                feature_names=tuple(subset),
+                max_depth=config.tree_max_depth,
             )
-            classifiers.append(classifier.fit(dataset, train_rows, labels))
+            candidates.append((spec, matrix))
 
-    classifiers.append(
-        AllFeaturesClassifier(
-            dataset.feature_names, cost_matrix=cost_matrix, max_depth=config.tree_max_depth
-        ).fit(dataset, train_rows, labels)
+    candidates.append(
+        (
+            CandidateSpec(
+                family="all_features",
+                name="all_features",
+                max_depth=config.tree_max_depth,
+            ),
+            cost_matrix,
+        )
     )
 
-    ordered = order_features_by_cost(dataset, dataset.feature_names)
+    ordered = tuple(order_features_by_cost(dataset, dataset.feature_names))
     for threshold in config.incremental_thresholds:
-        classifier = IncrementalFeatureExaminationClassifier(
+        spec = CandidateSpec(
+            family="incremental",
+            name=f"incremental[t={threshold}]",
             feature_names=ordered,
             posterior_threshold=threshold,
-            name=f"incremental[t={threshold}]",
         )
-        classifiers.append(classifier.fit(dataset, train_rows, labels))
+        candidates.append((spec, None))
 
-    return classifiers
+    return candidates
+
+
+def fit_candidate(
+    spec: CandidateSpec,
+    cost_matrix: Optional[np.ndarray],
+    dataset: PerformanceDataset,
+    labels: np.ndarray,
+    train_rows: np.ndarray,
+) -> CandidateClassifier:
+    """Task function: instantiate and fit one candidate."""
+    return instantiate_candidate(spec, dataset, cost_matrix).fit(
+        dataset, train_rows, labels
+    )
+
+
+def fit_and_evaluate_candidate(
+    spec: CandidateSpec,
+    cost_matrix: Optional[np.ndarray],
+    dataset: PerformanceDataset,
+    labels: np.ndarray,
+    train_rows: np.ndarray,
+    test_rows: np.ndarray,
+) -> Tuple[CandidateClassifier, ClassifierEvaluation]:
+    """Task function: fit one candidate and score it on the test rows.
+
+    Fitting and scoring live in one task so a candidate round-trips to a
+    worker once and one cache entry covers both.
+    """
+    classifier = fit_candidate(spec, cost_matrix, dataset, labels, train_rows)
+    return classifier, evaluate_classifier(classifier, dataset, test_rows)
+
+
+def _search_fingerprint(
+    dataset: PerformanceDataset, labels: np.ndarray, config: Level2Config
+) -> str:
+    """Digest of everything all candidates share (dataset content + knobs)."""
+    return content_key(
+        "level2",
+        dataset.feature_names,
+        dataset.features,
+        dataset.extraction_costs,
+        dataset.times,
+        dataset.accuracies,
+        dataset.requirement,
+        labels,
+        config,
+    )
+
+
+def _candidate_tasks(
+    candidates: Sequence[Tuple[CandidateSpec, Optional[np.ndarray]]],
+    fingerprint: str,
+    fn,
+    shared_args: Tuple,
+) -> List[TaskSpec]:
+    """One task per candidate, keyed by (search fingerprint, spec, matrix)."""
+    return [
+        TaskSpec(
+            fn=fn,
+            args=(spec, matrix) + shared_args,
+            key=content_key(fn.__name__, fingerprint, spec, matrix),
+            label=spec.name,
+        )
+        for spec, matrix in candidates
+    ]
+
+
+def train_classifier_zoo(
+    dataset: PerformanceDataset,
+    labels: np.ndarray,
+    train_rows: Sequence[int],
+    cost_matrix: np.ndarray,
+    config: Level2Config,
+    runtime: Optional[Runtime] = None,
+) -> List[CandidateClassifier]:
+    """Instantiate and fit every candidate classifier on the training rows.
+
+    Training fans out over the runtime's executor as one task batch; the
+    returned list is in enumeration order regardless of completion order,
+    identical to the serial loop it replaces.
+    """
+    active = runtime if runtime is not None else default_runtime()
+    train_rows = np.asarray(train_rows, dtype=int)
+    candidates = enumerate_candidates(dataset, labels, cost_matrix, config)
+    fingerprint = _search_fingerprint(dataset, labels, config)
+    tasks = _candidate_tasks(
+        candidates,
+        content_key(fingerprint, train_rows),
+        fit_candidate,
+        (dataset, labels, train_rows),
+    )
+    return active.run_tasks(tasks, phase="level2.fit")
 
 
 def run_level2(
@@ -256,8 +452,16 @@ def run_level2(
     config: Optional[Level2Config] = None,
     level1_cluster_labels: Optional[np.ndarray] = None,
     cluster_to_landmark: Optional[Sequence[int]] = None,
+    runtime: Optional[Runtime] = None,
 ) -> Level2Result:
     """Run the full Level-2 pipeline.
+
+    The candidate search -- one fit-and-score task per classifier -- fans
+    out over the runtime's executor (``phase level2.candidates`` in the
+    telemetry) and is memoized per candidate, so a warm runtime skips
+    retraining.  Results are assembled in enumeration order whatever the
+    executor, which makes the selected production classifier and all its
+    scores identical across serial, thread, and process execution.
 
     Args:
         dataset: the Level-1 performance dataset.
@@ -268,23 +472,61 @@ def run_level2(
             used only to report the relabel-shift statistic.
         cluster_to_landmark: optional mapping from Level-1 cluster index to
             landmark index (needed together with ``level1_cluster_labels``).
+        runtime: measurement runtime the search fans out over; defaults to
+            the shared serial, cache-less runtime (bit-identical legacy
+            behaviour).
     """
     if config is None:
         config = Level2Config()
+    active = runtime if runtime is not None else default_runtime()
     train_rows = np.asarray(train_rows, dtype=int)
     test_rows = np.asarray(test_rows, dtype=int)
     if train_rows.size == 0 or test_rows.size == 0:
         raise ValueError("both train and test rows must be non-empty")
+    # Validate the cross-validation knobs up front: failing after the full
+    # candidate search would throw away all of its work.
+    if config.cv_folds < 0 or config.cv_folds == 1:
+        raise ValueError("cv_folds must be 0 (disabled) or >= 2")
+    if config.cv_folds > 0 and train_rows.size < 2:
+        raise ValueError("cv_folds > 0 needs at least 2 training rows")
 
     labels = compute_labels(dataset)
     cost_matrix = build_cost_matrix(
         dataset, labels, accuracy_cost_weight=config.accuracy_cost_weight
     )
-    classifiers = train_classifier_zoo(dataset, labels, train_rows, cost_matrix, config)
-    evaluations = [
-        evaluate_classifier(classifier, dataset, test_rows) for classifier in classifiers
-    ]
+
+    candidates = enumerate_candidates(dataset, labels, cost_matrix, config)
+    fingerprint = _search_fingerprint(dataset, labels, config)
+    tasks = _candidate_tasks(
+        candidates,
+        content_key(fingerprint, train_rows, test_rows),
+        fit_and_evaluate_candidate,
+        (dataset, labels, train_rows, test_rows),
+    )
+    fitted = active.run_tasks(tasks, phase="level2.candidates")
+    classifiers = [classifier for classifier, _ in fitted]
+    evaluations = [evaluation for _, evaluation in fitted]
     production = select_production_classifier(evaluations)
+
+    production_cv_costs: Optional[List[float]] = None
+    if config.cv_folds > 0:
+        index = next(i for i, e in enumerate(evaluations) if e is production)
+        spec, matrix = candidates[index]
+        # functools.partial of a module-level function stays picklable, so
+        # the CV folds parallelize under the process executor too (a lambda
+        # here would silently serialize the whole batch).
+        factory = functools.partial(instantiate_candidate, spec, dataset, matrix)
+        folds = cross_validate_classifier(
+            factory,
+            dataset,
+            labels,
+            train_rows,
+            n_splits=config.cv_folds,
+            seed=config.seed,
+            runtime=active,
+            key_prefix=content_key("level2.cv", fingerprint, spec, matrix),
+        )
+        production_cv_costs = [fold.performance_cost for fold in folds]
 
     relabel_shift: Optional[float] = None
     if level1_cluster_labels is not None and cluster_to_landmark is not None:
@@ -301,4 +543,5 @@ def run_level2(
         train_rows=train_rows,
         test_rows=test_rows,
         relabel_shift=relabel_shift,
+        production_cv_costs=production_cv_costs,
     )

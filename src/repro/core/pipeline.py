@@ -183,6 +183,7 @@ class InputAwareLearning:
                 config=self.level2_config,
                 level1_cluster_labels=level1.cluster_labels,
                 cluster_to_landmark=level1.cluster_to_landmark,
+                runtime=runtime,
             )
         deployed = DeployedProgram(
             program=program,

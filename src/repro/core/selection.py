@@ -18,12 +18,14 @@ scored by the paper's efficacy measure:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.classifiers import CandidateClassifier
 from repro.core.dataset import PerformanceDataset
+from repro.ml.crossval import StratifiedKFold
+from repro.runtime import Runtime, TaskSpec, content_key, default_runtime
 
 #: Score assigned to classifiers that miss the satisfaction threshold.
 INVALID_COST = float("inf")
@@ -89,6 +91,79 @@ def evaluate_classifier(
         valid=valid,
         mean_extraction_cost=float(np.mean(extraction)),
     )
+
+
+def _fit_and_evaluate_fold(
+    classifier_factory: Callable[[], CandidateClassifier],
+    dataset: PerformanceDataset,
+    labels: np.ndarray,
+    fold_train_rows: np.ndarray,
+    fold_test_rows: np.ndarray,
+) -> ClassifierEvaluation:
+    """Task function: fit a fresh candidate on one fold and score its holdout."""
+    classifier = classifier_factory().fit(dataset, fold_train_rows, labels)
+    return evaluate_classifier(classifier, dataset, fold_test_rows)
+
+
+def cross_validate_classifier(
+    classifier_factory: Callable[[], CandidateClassifier],
+    dataset: PerformanceDataset,
+    labels: np.ndarray,
+    rows: Sequence[int],
+    n_splits: int = 10,
+    seed: Optional[int] = 0,
+    runtime: Optional[Runtime] = None,
+    key_prefix: Optional[str] = None,
+) -> List[ClassifierEvaluation]:
+    """Cross-validated efficacy of one candidate, one fold per task.
+
+    The paper trains its exhaustive-subset classifiers under 10-fold
+    cross-validation; this scores a candidate the same way, fanning the
+    per-fold fit-and-score work over the runtime's executor.  Folds are
+    stratified by label and the fold assignment depends only on ``seed``,
+    so the returned per-fold evaluations are deterministic across
+    executors.  For the process executor the factory must be picklable --
+    a classifier class or a ``functools.partial`` of a module-level
+    function (as :func:`repro.core.level2.run_level2` passes); a closure
+    makes the batch fall back to serial execution.
+
+    Args:
+        classifier_factory: zero-argument callable returning a fresh
+            unfitted candidate.
+        dataset: the performance dataset.
+        labels: the Level-2 labels (full-length, indexed by row).
+        rows: the rows to cross-validate within (typically the train split).
+        n_splits: fold count (clamped to the available row count).
+        seed: fold-assignment seed.
+        runtime: measurement runtime; defaults to the shared serial one.
+        key_prefix: content key identifying (dataset, labels, candidate) --
+            everything the fold results depend on besides the fold rows.
+            When given, fold tasks are memoized so a warm runtime skips
+            refitting them (like the Level-2 candidate search); when
+            ``None`` every call re-executes.
+    """
+    active = runtime if runtime is not None else default_runtime()
+    rows = np.asarray(rows, dtype=int)
+    if rows.size < 2:
+        raise ValueError("cross-validation needs at least 2 rows")
+    n_splits = min(n_splits, rows.size)
+    if n_splits < 2:
+        raise ValueError("n_splits must be >= 2")
+    splitter = StratifiedKFold(n_splits=n_splits, random_state=seed)
+    tasks = [
+        TaskSpec(
+            fn=_fit_and_evaluate_fold,
+            args=(classifier_factory, dataset, labels, rows[fold_train], rows[fold_test]),
+            key=(
+                content_key(key_prefix, rows[fold_train], rows[fold_test])
+                if key_prefix is not None
+                else None
+            ),
+            label=f"cv-fold:{fold_index}",
+        )
+        for fold_index, (fold_train, fold_test) in enumerate(splitter.split(labels[rows]))
+    ]
+    return active.run_tasks(tasks, phase="selection.crossval")
 
 
 def select_production_classifier(

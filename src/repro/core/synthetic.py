@@ -1,0 +1,81 @@
+"""Synthetic performance datasets for tests, benchmarks, and examples.
+
+A :class:`~repro.core.dataset.PerformanceDataset` whose best landmark is
+decided by a single cheap feature lets Level-2 components be exercised (and
+raced across executors) without running Level 1 first.  The generator is
+deterministic given its seed, which is what the cross-executor determinism
+and golden tests rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dataset import PerformanceDataset
+from repro.lang.accuracy import AccuracyRequirement
+from repro.lang.config import Configuration
+
+
+def synthetic_level2_dataset(
+    n: int = 80,
+    seed: int = 0,
+    variable_accuracy: bool = False,
+    n_properties: int = 2,
+    n_levels: int = 2,
+) -> PerformanceDataset:
+    """A dataset where the best landmark is decided by feature ``p0@0``.
+
+    Landmark 0 is fast on inputs with ``p0@0 < 0`` and slow otherwise;
+    landmark 1 is the reverse; landmark 2 is a mediocre-but-safe middle
+    choice.  For the variable-accuracy variant, landmarks 0 and 1 are also
+    inaccurate exactly where they are slow, so accuracy-aware labelling and
+    cost matrices have real structure to find.
+
+    Args:
+        n: number of input rows.
+        seed: RNG seed (the generator is fully deterministic given it).
+        variable_accuracy: whether to enable an accuracy requirement.
+        n_properties: number of feature properties ``p0 .. p{u-1}``.
+        n_levels: sampling levels per property (``p@0 .. p@{z-1}``); higher
+            levels repeat the property value with small noise and a higher
+            extraction cost, mimicking progressively expensive sampling.
+    """
+    if n_properties < 1 or n_levels < 1:
+        raise ValueError("need at least one property and one level")
+    rng = np.random.default_rng(seed)
+    base = rng.normal(size=(n, n_properties))
+    feature_names = []
+    columns = []
+    costs = []
+    for prop in range(n_properties):
+        for level in range(n_levels):
+            feature_names.append(f"p{prop}@{level}")
+            noise = rng.normal(scale=0.05, size=n) if level else np.zeros(n)
+            columns.append(base[:, prop] + noise)
+            costs.append(np.full(n, 1.0 + 4.0 * level))
+    features = np.column_stack(columns)
+    extraction_costs = np.column_stack(costs)
+
+    a = base[:, 0]
+    times = np.empty((n, 3))
+    times[:, 0] = np.where(a < 0, 10.0, 100.0)
+    times[:, 1] = np.where(a < 0, 100.0, 10.0)
+    times[:, 2] = 40.0
+    accuracies = np.ones((n, 3))
+    if variable_accuracy:
+        accuracies[:, 0] = np.where(a < 0, 1.0, 0.0)
+        accuracies[:, 1] = np.where(a < 0, 0.0, 1.0)
+    requirement = (
+        AccuracyRequirement(accuracy_threshold=0.5)
+        if variable_accuracy
+        else AccuracyRequirement.disabled()
+    )
+    return PerformanceDataset(
+        feature_names=feature_names,
+        features=features,
+        extraction_costs=extraction_costs,
+        times=times,
+        accuracies=accuracies,
+        landmarks=[Configuration({"id": i}) for i in range(3)],
+        requirement=requirement,
+    )

@@ -55,7 +55,11 @@ class ExperimentConfig:
     ``process``; overridable via the ``REPRO_EXECUTOR`` / ``REPRO_WORKERS``
     environment variables), ``use_cache`` deduplicates identical runs within
     and across pipeline stages, and ``cache_path`` persists measurements to
-    a JSON file shared by later runs.
+    a JSON file shared by later runs.  The executor carries program runs
+    *and* the learning tasks built on the generalized task layer -- Level
+    2's candidate search and the autotuner's objective evaluations -- so a
+    parallel executor accelerates training end to end, with results
+    identical to serial by construction.
     """
 
     n_inputs: int = 240

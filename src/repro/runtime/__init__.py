@@ -14,8 +14,15 @@ from repro.runtime.executors import (
     ThreadExecutor,
     get_executor,
 )
-from repro.runtime.keys import config_key, input_key, program_fingerprint, run_key
+from repro.runtime.keys import (
+    config_key,
+    content_key,
+    input_key,
+    program_fingerprint,
+    run_key,
+)
 from repro.runtime.runtime import Runtime, default_runtime
+from repro.runtime.tasks import TaskCache, TaskSpec
 from repro.runtime.telemetry import PhaseStats, Telemetry
 
 __all__ = [
@@ -27,9 +34,12 @@ __all__ = [
     "RunCache",
     "Runtime",
     "SerialExecutor",
+    "TaskCache",
+    "TaskSpec",
     "Telemetry",
     "ThreadExecutor",
     "config_key",
+    "content_key",
     "default_runtime",
     "get_executor",
     "input_key",

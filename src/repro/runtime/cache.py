@@ -20,6 +20,7 @@ Two storage tiers:
 
 from __future__ import annotations
 
+import base64
 import json
 import os
 import tempfile
@@ -31,6 +32,43 @@ from repro.lang.program import RunResult
 
 #: On-disk format version; bumped when the entry layout changes.
 _FORMAT_VERSION = 1
+
+#: Prefix marking a key that was base64-escaped for persistence.  Keys are
+#: normally hex digests with a program-name prefix, but program names are
+#: arbitrary strings and may contain payloads that are not UTF-8-safe (lone
+#: surrogates from undecodable filenames, say).  Emitting those raw would
+#: produce a file that is not valid UTF-8/JSON -- readable only by lenient
+#: parsers, and silently dropped wholesale by :meth:`RunCache.load` under a
+#: strict one -- so such keys are escaped to ASCII on save and restored
+#: exactly on load.
+_ESCAPED_KEY_PREFIX = "\x00b64:"
+
+
+def _escape_key(key: str) -> str:
+    """ASCII-safe, exactly invertible encoding of an arbitrary cache key.
+
+    UTF-8-safe keys pass through unchanged; anything else (or a key that
+    happens to start with the escape prefix itself) is base64-encoded with
+    ``surrogatepass`` so even lone surrogates round-trip bit-exactly.
+    """
+    needs_escape = key.startswith(_ESCAPED_KEY_PREFIX)
+    if not needs_escape:
+        try:
+            key.encode("utf-8")
+        except UnicodeEncodeError:
+            needs_escape = True
+    if not needs_escape:
+        return key
+    raw = key.encode("utf-8", "surrogatepass")
+    return _ESCAPED_KEY_PREFIX + base64.urlsafe_b64encode(raw).decode("ascii")
+
+
+def _unescape_key(stored: str) -> str:
+    """Invert :func:`_escape_key`."""
+    if not stored.startswith(_ESCAPED_KEY_PREFIX):
+        return stored
+    raw = base64.urlsafe_b64decode(stored[len(_ESCAPED_KEY_PREFIX):].encode("ascii"))
+    return raw.decode("utf-8", "surrogatepass")
 
 
 @dataclass
@@ -117,12 +155,18 @@ class RunCache:
         reloaded entries therefore serve measurement lookups only.  Returns
         the number of entries written.  The write is atomic (temp file +
         rename), so a crashed run cannot leave a truncated cache behind.
+
+        Keys that are not UTF-8-safe are escaped to ASCII (and restored
+        exactly by :meth:`load`) so the file stays valid UTF-8 JSON; a
+        non-string key raises ``ValueError`` rather than being dropped.
         """
         target = path or self.persist_path
         if target is None:
             raise ValueError("no persist path configured")
         entries: Dict[str, Dict[str, Any]] = {}
         for key, entry in self._store.items():
+            if not isinstance(key, str):
+                raise ValueError(f"cache keys must be strings, got {type(key).__name__}")
             record: Dict[str, Any] = {
                 "time": entry.result.time,
                 "accuracy": entry.result.accuracy,
@@ -130,13 +174,13 @@ class RunCache:
             extra = _json_safe_extra(entry.result.extra)
             if extra:
                 record["extra"] = extra
-            entries[key] = record
+            entries[_escape_key(key)] = record
         payload = {"version": _FORMAT_VERSION, "entries": entries}
         directory = os.path.dirname(os.path.abspath(target))
         os.makedirs(directory, exist_ok=True)
         fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
         try:
-            with os.fdopen(fd, "w") as handle:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(payload, handle)
             os.replace(tmp_path, target)
         except BaseException:
@@ -159,7 +203,7 @@ class RunCache:
         if not os.path.exists(target):
             return 0
         try:
-            with open(target, "r") as handle:
+            with open(target, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
             if not isinstance(payload, dict) or payload.get("version") != _FORMAT_VERSION:
                 return 0
@@ -172,7 +216,7 @@ class RunCache:
                     accuracy=float(record["accuracy"]),
                     extra=dict(record.get("extra", {})),
                 )
-                self.put(key, result, has_output=False)
+                self.put(_unescape_key(key), result, has_output=False)
                 loaded += 1
             return loaded
         except (OSError, ValueError, KeyError, TypeError, AttributeError):
@@ -192,12 +236,21 @@ class RunCache:
 
 
 def _json_safe_extra(extra: Dict[str, Any]) -> Dict[str, Any]:
-    """Keep only the JSON-serializable part of a result's extras."""
+    """Keep only the JSON- and UTF-8-serializable part of a result's extras.
+
+    Extras are best-effort annotations, so unserializable values (and values
+    whose JSON encoding is not valid UTF-8, e.g. strings holding lone
+    surrogates) are deliberately omitted from the persisted record; the
+    in-memory entry keeps them.
+    """
     safe: Dict[str, Any] = {}
     for key, value in extra.items():
         try:
-            json.dumps(value)
-        except (TypeError, ValueError):
+            # ensure_ascii=False forces raw characters, so strings holding
+            # lone surrogates fail here instead of producing escape
+            # sequences that strict JSON parsers reject.
+            json.dumps({key: value}, ensure_ascii=False).encode("utf-8")
+        except (TypeError, ValueError, UnicodeEncodeError):
             continue
         safe[key] = value
     return safe

@@ -31,6 +31,15 @@ from repro.lang.program import PetaBricksProgram, RunResult
 #: A single unit of work: run the program with this configuration on this input.
 Task = Tuple[Configuration, Any]
 
+#: A generic unit of work: ``(callable, positional args, keyword args)``.
+CallTask = Tuple[Any, Tuple[Any, ...], dict]
+
+
+def _invoke_call(call: CallTask) -> Any:
+    """Execute one generic call task (module-level so process pools can ship it)."""
+    fn, args, kwargs = call
+    return fn(*args, **kwargs)
+
 
 def _default_workers() -> int:
     return max(1, os.cpu_count() or 1)
@@ -46,6 +55,15 @@ class BaseExecutor:
         self, program: PetaBricksProgram, tasks: Sequence[Task]
     ) -> List[RunResult]:
         """Execute every task and return results in task order."""
+        raise NotImplementedError
+
+    def run_calls(self, calls: Sequence[CallTask]) -> List[Any]:
+        """Execute a batch of generic ``(fn, args, kwargs)`` calls, in order.
+
+        The generalized-task counterpart of :meth:`run_batch`: the calls
+        must be pure functions of their arguments, and results come back in
+        submission order whatever the execution strategy.
+        """
         raise NotImplementedError
 
     def close(self) -> None:
@@ -70,6 +88,9 @@ class SerialExecutor(BaseExecutor):
         self, program: PetaBricksProgram, tasks: Sequence[Task]
     ) -> List[RunResult]:
         return [program.run(config, program_input) for config, program_input in tasks]
+
+    def run_calls(self, calls: Sequence[CallTask]) -> List[Any]:
+        return [_invoke_call(call) for call in calls]
 
 
 class ThreadExecutor(BaseExecutor):
@@ -102,6 +123,13 @@ class ThreadExecutor(BaseExecutor):
             pool.submit(program.run, config, program_input)
             for config, program_input in tasks
         ]
+        return [future.result() for future in futures]
+
+    def run_calls(self, calls: Sequence[CallTask]) -> List[Any]:
+        if len(calls) <= 1:
+            return SerialExecutor().run_calls(calls)
+        pool = self._ensure_pool()
+        futures = [pool.submit(_invoke_call, call) for call in calls]
         return [future.result() for future in futures]
 
     def close(self) -> None:
@@ -171,6 +199,49 @@ class ProcessExecutor(BaseExecutor):
         )
         self._pool_program = program
         return self._pool
+
+    def _any_pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        """Any live pool (generic calls do not care about the initializer).
+
+        Reuses a program-initialized pool when one exists -- the initializer
+        only sets a worker global that generic calls ignore -- and otherwise
+        starts a pool with no initializer at all.
+        """
+        if self._pool is None:
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.workers
+            )
+            self._pool_program = None
+        return self._pool
+
+    def run_calls(self, calls: Sequence[CallTask]) -> List[Any]:
+        if not calls:
+            return []
+        # The probe is the primary fallback detector: batches are homogeneous
+        # in practice, so an unpicklable first call (a closure factory, say)
+        # means the batch belongs on the serial path.  Errors raised *by* a
+        # task in a worker are then never mistaken for pickling failures --
+        # only a genuine mid-batch PicklingError still falls back below.
+        try:
+            pickle.dumps(calls[0])
+        except Exception as error:
+            self.fallback_reason = f"call not picklable: {type(error).__name__}"
+            return SerialExecutor().run_calls(calls)
+        pool = self._any_pool()
+        # Chunking matters beyond message overhead: a chunk is pickled as one
+        # object, so large arguments shared by its calls (e.g. the dataset
+        # every Level-2 candidate task carries) cross the process boundary
+        # once per chunk instead of once per call, via the pickle memo.
+        chunksize = max(1, len(calls) // (self.workers * 4))
+        try:
+            return list(pool.map(_invoke_call, calls, chunksize=chunksize))
+        except pickle.PicklingError as error:
+            self.fallback_reason = f"call batch not picklable: {type(error).__name__}"
+            return SerialExecutor().run_calls(calls)
+        except concurrent.futures.process.BrokenProcessPool as error:
+            self.fallback_reason = f"process pool broke: {error}"
+            self._shutdown_pool()
+            return SerialExecutor().run_calls(calls)
 
     def run_batch(
         self, program: PetaBricksProgram, tasks: Sequence[Task]

@@ -87,6 +87,19 @@ def _digest_of(*values: Any) -> str:
     return digest.hexdigest()
 
 
+def content_key(*values: Any) -> str:
+    """Canonical digest of arbitrary structured values.
+
+    The generic entry point for content-keying tasks (see
+    :mod:`repro.runtime.tasks`): feed every value that determines a task's
+    result -- a phase tag, dataset arrays, parameter dataclasses -- and use
+    the digest as the :attr:`~repro.runtime.tasks.TaskSpec.key`.  Values are
+    hashed with the same canonical encoding as configuration and input keys,
+    so numpy arrays, dataclasses, and nested containers are all stable.
+    """
+    return _digest_of(*values)
+
+
 def _callable_id(func: Any) -> str:
     """A stable module-qualified identifier for a function-like object."""
     return f"{getattr(func, '__module__', '?')}.{getattr(func, '__qualname__', repr(func))}"

@@ -16,6 +16,7 @@ drivers construct caching/parallel runtimes explicitly (see
 
 from __future__ import annotations
 
+import contextlib
 from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -23,8 +24,9 @@ import numpy as np
 from repro.lang.config import Configuration
 from repro.lang.program import PetaBricksProgram, RunResult
 from repro.runtime.cache import RunCache
-from repro.runtime.executors import BaseExecutor, SerialExecutor, Task, get_executor
+from repro.runtime.executors import BaseExecutor, CallTask, SerialExecutor, Task, get_executor
 from repro.runtime.keys import config_key, input_key, program_fingerprint, run_key
+from repro.runtime.tasks import TaskCache, TaskSpec, is_missing
 from repro.runtime.telemetry import Telemetry
 
 
@@ -45,17 +47,29 @@ class Runtime:
         cache: run cache; ``None`` disables caching entirely (every request
             executes), which is the bit-identical legacy behaviour.
         telemetry: telemetry sink; a fresh one is created when omitted.
+        task_cache: memo for generalized task results (see
+            :meth:`run_tasks`).  When omitted, one is created whenever a run
+            cache is present, so a caching runtime also memoizes keyed tasks.
     """
+
+    #: Default entry cap for the auto-created task cache; task results
+    #: (trained classifiers, fold evaluations) are larger than run
+    #: measurements, so the cap is much smaller than the run cache's.
+    TASK_CACHE_ENTRIES = 8_192
 
     def __init__(
         self,
         executor: Optional[BaseExecutor] = None,
         cache: Optional[RunCache] = None,
         telemetry: Optional[Telemetry] = None,
+        task_cache: Optional[TaskCache] = None,
     ) -> None:
         self.executor = executor if executor is not None else SerialExecutor()
         self.cache = cache
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        if task_cache is None and cache is not None:
+            task_cache = TaskCache(max_entries=self.TASK_CACHE_ENTRIES)
+        self.task_cache = task_cache
 
     @classmethod
     def create(
@@ -177,6 +191,75 @@ class Runtime:
             keys.append(f"{prefix}:{ck}:{ik}")
         return keys
 
+    # -- generalized tasks ----------------------------------------------
+
+    def run_tasks(
+        self, specs: Sequence[TaskSpec], phase: Optional[str] = None
+    ) -> List[Any]:
+        """Execute a batch of arbitrary content-keyed tasks, in order.
+
+        The generalized counterpart of :meth:`run_pairs`: keyed tasks are
+        recalled from the task cache, identical keys within the batch
+        execute once, and the remaining work fans out over the executor.
+        Results always come back in submission order, so callers see the
+        exact sequence the equivalent serial loop would have produced --
+        this is what keeps parallel searches (e.g. Level 2's classifier
+        zoo) deterministic: candidates are compared in enumeration order,
+        a key independent of completion order.
+
+        Args:
+            specs: the tasks.  Tasks must be pure functions of their
+                arguments; specs with ``key=None`` always execute.
+            phase: optional telemetry phase name timing this batch.
+        """
+        scope = self.telemetry.phase(phase) if phase else contextlib.nullcontext()
+        with scope:
+            return self._run_tasks(specs)
+
+    def _run_tasks(self, specs: Sequence[TaskSpec]) -> List[Any]:
+        self.telemetry.count("tasks_requested", len(specs))
+        if self.task_cache is None:
+            calls: List[CallTask] = [(s.fn, s.args, s.kwargs) for s in specs]
+            self.telemetry.count("tasks_executed", len(specs))
+            return self.executor.run_calls(calls)
+
+        results: List[Any] = [None] * len(specs)
+        #: key -> slot of the first miss with that key (for in-batch dedup).
+        pending: Dict[str, int] = {}
+        #: slots whose result is copied from another slot after execution.
+        aliases: List[tuple] = []
+        miss_calls: List[CallTask] = []
+        miss_slots: List[int] = []
+        for slot, spec in enumerate(specs):
+            if spec.key is None:
+                miss_calls.append((spec.fn, spec.args, spec.kwargs))
+                miss_slots.append(slot)
+                continue
+            cached = self.task_cache.get(spec.key)
+            if not is_missing(cached):
+                self.telemetry.count("task_cache_hits")
+                results[slot] = cached
+                continue
+            first = pending.get(spec.key)
+            if first is not None:
+                self.telemetry.count("task_cache_hits")
+                aliases.append((slot, first))
+                continue
+            pending[spec.key] = slot
+            miss_calls.append((spec.fn, spec.args, spec.kwargs))
+            miss_slots.append(slot)
+
+        if miss_calls:
+            executed = self.executor.run_calls(miss_calls)
+            self.telemetry.count("tasks_executed", len(miss_calls))
+            for slot, value in zip(miss_slots, executed):
+                results[slot] = value
+        for key, slot in pending.items():
+            self.task_cache.put(key, results[slot])
+        for slot, first in aliases:
+            results[slot] = results[first]
+        return results
+
     def measure(
         self,
         program: PetaBricksProgram,
@@ -221,6 +304,8 @@ class Runtime:
             info["executor_fallback"] = fallback
         if self.cache is not None:
             info["cache"] = self.cache.stats()
+        if self.task_cache is not None:
+            info["task_cache"] = self.task_cache.stats()
         return info
 
     def close(self) -> None:

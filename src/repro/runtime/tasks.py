@@ -1,0 +1,130 @@
+"""Generalized content-keyed tasks for the measurement runtime.
+
+PR 1 built the runtime around one task shape: "run this program with this
+configuration on this input".  This module generalizes that to *arbitrary*
+callables so other serial phases of the pipeline -- Level 2's
+feature-subset x classifier-zoo search, cross-validation scoring, the
+autotuner's objective evaluation -- can fan out over the same executors and
+enjoy the same caching and telemetry.
+
+A :class:`TaskSpec` is one unit of work: a callable plus its arguments and
+an optional *content key*.  Keyed tasks are memoized in a
+:class:`TaskCache` (in-memory only -- task results are arbitrary Python
+objects such as trained classifiers, so unlike run measurements they are
+never persisted to JSON); unkeyed tasks always execute.  Tasks must be
+pure functions of their arguments for either the cache or a parallel
+executor to be sound -- the same contract program runs already obey.
+
+Results are always returned in *submission order* regardless of which
+executor carried the work or in what order tasks completed, so a batch of
+tasks behaves exactly like the serial loop it replaces.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+#: Sentinel distinguishing "no cached value" from a cached None result.
+_MISSING = object()
+
+
+@dataclass
+class TaskSpec:
+    """One unit of work for :meth:`repro.runtime.Runtime.run_tasks`.
+
+    Attributes:
+        fn: the callable to execute.  For the process executor it must be
+            picklable (a module-level function); unpicklable tasks
+            transparently fall back to serial execution.
+        args: positional arguments.
+        kwargs: keyword arguments.
+        key: content key identifying the task's result.  Two specs with the
+            same key are assumed to produce the same value (within a batch
+            the work runs once; across batches the task cache answers).
+            ``None`` disables caching for this task.
+        label: short human-readable tag (telemetry/debugging only).
+    """
+
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    key: Optional[str] = None
+    label: str = ""
+
+    def call(self) -> Any:
+        """Execute the task in the calling thread."""
+        return self.fn(*self.args, **self.kwargs)
+
+
+class TaskCache:
+    """LRU cache of task results, keyed by :attr:`TaskSpec.key`.
+
+    Unlike :class:`~repro.runtime.cache.RunCache` this stores arbitrary
+    Python objects (trained classifiers, evaluation tuples, ...) and is
+    therefore purely in-memory; it never persists.
+
+    Args:
+        max_entries: entry cap; least-recently-used entries are evicted once
+            the cap is exceeded.  ``None`` means unbounded.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 or None")
+        self.max_entries = max_entries
+        self._store: "OrderedDict[str, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: str) -> Any:
+        """The cached value for ``key``, or the module's missing sentinel.
+
+        Use :func:`is_missing` (or compare against the returned sentinel) to
+        distinguish a miss from a legitimately cached ``None``.
+        """
+        value = self._store.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return _MISSING
+        self._store.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key``, evicting LRU entries if needed."""
+        self._store[key] = value
+        self._store.move_to_end(key)
+        if self.max_entries is not None:
+            while len(self._store) > self.max_entries:
+                self._store.popitem(last=False)
+                self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._store
+
+    def clear(self) -> None:
+        """Drop all entries (statistics are kept)."""
+        self._store.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/eviction counters plus the current size."""
+        return {
+            "entries": len(self._store),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TaskCache(entries={len(self._store)}, hits={self.hits}, misses={self.misses})"
+
+
+def is_missing(value: Any) -> bool:
+    """True when ``value`` is the :meth:`TaskCache.get` miss sentinel."""
+    return value is _MISSING

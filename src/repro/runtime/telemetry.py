@@ -71,6 +71,21 @@ class Telemetry:
         """Runs served from the cache."""
         return self.counters.get("cache_hits", 0)
 
+    @property
+    def tasks_requested(self) -> int:
+        """Generalized tasks asked of the runtime (hits + executions)."""
+        return self.counters.get("tasks_requested", 0)
+
+    @property
+    def tasks_executed(self) -> int:
+        """Generalized tasks that actually executed (task-cache misses)."""
+        return self.counters.get("tasks_executed", 0)
+
+    @property
+    def task_cache_hits(self) -> int:
+        """Generalized tasks served from the task cache."""
+        return self.counters.get("task_cache_hits", 0)
+
     def hit_rate(self) -> float:
         """Fraction of requested runs served from cache (0.0 when idle)."""
         requested = self.runs_requested
@@ -105,6 +120,12 @@ class Telemetry:
             f"{self.runs_executed} executed, "
             f"{self.cache_hits} cache hits ({self.hit_rate():.1%})"
         ]
+        if self.tasks_requested:
+            lines.append(
+                f"tasks: {self.tasks_requested} requested, "
+                f"{self.tasks_executed} executed, "
+                f"{self.task_cache_hits} cache hits"
+            )
         for name in sorted(self.phases):
             stats = self.phases[name]
             lines.append(f"phase {name}: {stats.seconds:.3f}s over {stats.calls} call(s)")

@@ -160,3 +160,43 @@ class TestZooAndRunLevel2:
         dataset = synthetic_dataset(n=20)
         with pytest.raises(ValueError):
             run_level2(dataset, [], range(20))
+
+
+class TestLevel2EdgeCases:
+    def test_single_input_dataset(self):
+        """One row used for both training and selection must not crash."""
+        dataset = synthetic_dataset(n=1)
+        result = run_level2(dataset, [0], [0], config=Level2Config(max_subsets=4))
+        assert result.production.valid
+        assert len(result.evaluations) == len(result.classifiers)
+        # With one input the best landmark is exact, so the production
+        # classifier's execution cost is the oracle cost.
+        oracle = float(dataset.best_times()[0])
+        assert result.production.performance_cost_no_extraction == oracle
+
+    def test_all_configs_identical_costs(self):
+        """When every landmark performs identically there is nothing to
+        learn; the search must still complete and pick a zero-regret
+        classifier (extraction-free max-apriori is the cheapest)."""
+        dataset = synthetic_dataset(n=24)
+        dataset.times[:] = 7.0
+        dataset.accuracies[:] = 1.0
+        result = run_level2(dataset, range(12), range(12, 24), config=Level2Config(max_subsets=4))
+        assert np.all(result.labels == 0)
+        np.testing.assert_array_equal(result.cost_matrix, 0.0)
+        assert result.production.classifier.name == "max_apriori"
+        assert result.production.performance_cost == 7.0
+
+    def test_enumeration_larger_than_max_subsets(self):
+        """A cap far below the full enumeration still yields a full zoo of
+        exactly max_subsets trees (plus the fixed families)."""
+        dataset = synthetic_dataset(n=40)
+        config = Level2Config(max_subsets=3)
+        subsets = enumerate_feature_subsets(dataset, config.max_subsets, seed=config.seed)
+        assert len(subsets) == 3  # 8 possible subsets, capped
+        result = run_level2(dataset, range(20), range(20, 40), config=config)
+        tree_names = [
+            c.name for c in result.classifiers if c.description.method == "decision_tree"
+        ]
+        assert len(tree_names) == 3
+        assert result.production.valid

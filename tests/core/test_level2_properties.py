@@ -1,0 +1,165 @@
+"""Property-based tests for Level-2 invariants (hypothesis).
+
+Two components are exercised generatively:
+
+* :func:`repro.core.level2.enumerate_feature_subsets` -- cap respected,
+  sentinel subsets kept under sampling, determinism under a fixed seed, no
+  duplicates, at most one level per property;
+* :func:`repro.core.level2.build_cost_matrix` -- shape, zero diagonal,
+  non-negativity, finiteness, zero rows for empty classes, monotonicity in
+  the accuracy-cost weight.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dataset import PerformanceDataset
+from repro.core.level2 import build_cost_matrix, enumerate_feature_subsets
+from repro.lang.accuracy import AccuracyRequirement
+from repro.lang.config import Configuration
+
+#: Per-property level counts: up to 4 properties with up to 3 levels each,
+#: giving full enumerations between 1 and (3+1)^4 - 1 = 255 subsets.
+LEVEL_COUNTS = st.lists(st.integers(min_value=1, max_value=3), min_size=1, max_size=4)
+
+
+class _FeatureNamesOnly:
+    """The minimal dataset surface ``enumerate_feature_subsets`` consumes."""
+
+    def __init__(self, feature_names):
+        self.feature_names = feature_names
+
+
+def dataset_with_levels(level_counts):
+    names = [
+        f"p{prop}@{level}"
+        for prop, levels in enumerate(level_counts)
+        for level in range(levels)
+    ]
+    return _FeatureNamesOnly(names)
+
+
+def full_enumeration_size(level_counts):
+    size = 1
+    for levels in level_counts:
+        size *= levels + 1
+    return size - 1
+
+
+class TestEnumerateFeatureSubsetsProperties:
+    @given(level_counts=LEVEL_COUNTS, max_subsets=st.integers(2, 300), seed=st.integers(0, 10))
+    @settings(max_examples=60, deadline=None)
+    def test_cap_respected_and_exact_when_not_sampling(self, level_counts, max_subsets, seed):
+        dataset = dataset_with_levels(level_counts)
+        subsets = enumerate_feature_subsets(dataset, max_subsets, seed=seed)
+        full = full_enumeration_size(level_counts)
+        if full <= max_subsets:
+            assert len(subsets) == full
+        else:
+            assert len(subsets) == max_subsets
+
+    @given(level_counts=LEVEL_COUNTS, max_subsets=st.integers(2, 300), seed=st.integers(0, 10))
+    @settings(max_examples=60, deadline=None)
+    def test_no_duplicates_and_one_level_per_property(self, level_counts, max_subsets, seed):
+        dataset = dataset_with_levels(level_counts)
+        subsets = enumerate_feature_subsets(dataset, max_subsets, seed=seed)
+        assert len(subsets) == len(set(subsets))
+        for subset in subsets:
+            assert subset  # never the empty subset
+            properties = [name.rpartition("@")[0] for name in subset]
+            assert len(properties) == len(set(properties))
+
+    @given(level_counts=LEVEL_COUNTS, max_subsets=st.integers(2, 300), seed=st.integers(0, 10))
+    @settings(max_examples=60, deadline=None)
+    def test_deterministic_under_fixed_seed(self, level_counts, max_subsets, seed):
+        dataset = dataset_with_levels(level_counts)
+        first = enumerate_feature_subsets(dataset, max_subsets, seed=seed)
+        second = enumerate_feature_subsets(dataset, max_subsets, seed=seed)
+        assert first == second
+
+    @given(level_counts=LEVEL_COUNTS, max_subsets=st.integers(2, 300), seed=st.integers(0, 10))
+    @settings(max_examples=60, deadline=None)
+    def test_sampling_always_keeps_cheapest_and_richest(self, level_counts, max_subsets, seed):
+        dataset = dataset_with_levels(level_counts)
+        if full_enumeration_size(level_counts) <= max_subsets:
+            return  # no sampling happened; nothing to assert
+        subsets = enumerate_feature_subsets(dataset, max_subsets, seed=seed)
+        cheapest = tuple(f"p{prop}@0" for prop in range(len(level_counts)))
+        richest = tuple(f"p{prop}@{levels - 1}" for prop, levels in enumerate(level_counts))
+        assert cheapest in subsets
+        assert richest in subsets
+
+    def test_cap_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            enumerate_feature_subsets(dataset_with_levels([2]), max_subsets=0)
+
+
+def cost_matrix_dataset(times, accuracies, threshold):
+    n, k = times.shape
+    return PerformanceDataset(
+        feature_names=["f@0"],
+        features=np.zeros((n, 1)),
+        extraction_costs=np.ones((n, 1)),
+        times=times,
+        accuracies=accuracies,
+        landmarks=[Configuration({"id": i}) for i in range(k)],
+        requirement=(
+            AccuracyRequirement(accuracy_threshold=threshold)
+            if threshold is not None
+            else AccuracyRequirement.disabled()
+        ),
+    )
+
+
+#: Strategy for (times, accuracies, threshold) triples of matching shape.
+@st.composite
+def cost_matrix_inputs(draw):
+    n = draw(st.integers(min_value=1, max_value=10))
+    k = draw(st.integers(min_value=1, max_value=4))
+    finite = st.floats(min_value=0.01, max_value=1000.0, allow_nan=False, width=64)
+    times = np.array(
+        draw(st.lists(st.lists(finite, min_size=k, max_size=k), min_size=n, max_size=n))
+    )
+    unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=64)
+    accuracies = np.array(
+        draw(st.lists(st.lists(unit, min_size=k, max_size=k), min_size=n, max_size=n))
+    )
+    threshold = draw(st.one_of(st.none(), unit))
+    return times, accuracies, threshold
+
+
+class TestBuildCostMatrixProperties:
+    @given(inputs=cost_matrix_inputs(), weight=st.floats(0.0, 8.0, allow_nan=False))
+    @settings(max_examples=80, deadline=None)
+    def test_shape_diagonal_nonnegativity_finiteness(self, inputs, weight):
+        times, accuracies, threshold = inputs
+        dataset = cost_matrix_dataset(times, accuracies, threshold)
+        labels = dataset.labels()
+        cost = build_cost_matrix(dataset, labels, accuracy_cost_weight=weight)
+        k = dataset.n_landmarks
+        assert cost.shape == (k, k)
+        assert np.allclose(np.diag(cost), 0.0)
+        assert np.all(cost >= 0.0)
+        assert np.all(np.isfinite(cost))
+
+    @given(inputs=cost_matrix_inputs())
+    @settings(max_examples=80, deadline=None)
+    def test_rows_of_unused_classes_are_zero(self, inputs):
+        times, accuracies, threshold = inputs
+        dataset = cost_matrix_dataset(times, accuracies, threshold)
+        labels = dataset.labels()
+        cost = build_cost_matrix(dataset, labels)
+        for i in range(dataset.n_landmarks):
+            if not np.any(labels == i):
+                np.testing.assert_array_equal(cost[i], 0.0)
+
+    @given(inputs=cost_matrix_inputs())
+    @settings(max_examples=80, deadline=None)
+    def test_monotone_in_accuracy_cost_weight(self, inputs):
+        times, accuracies, threshold = inputs
+        dataset = cost_matrix_dataset(times, accuracies, threshold)
+        labels = dataset.labels()
+        light = build_cost_matrix(dataset, labels, accuracy_cost_weight=0.5)
+        heavy = build_cost_matrix(dataset, labels, accuracy_cost_weight=4.0)
+        assert np.all(heavy >= light - 1e-9)

@@ -1,5 +1,7 @@
 """Tests for the content-keyed run cache."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -121,3 +123,62 @@ class TestPersistence:
     def test_save_without_path_rejected(self):
         with pytest.raises(ValueError):
             RunCache().save()
+
+
+class TestNonUtf8Keys:
+    """Persistence of keys carrying non-UTF8-safe payloads (lone surrogates).
+
+    Program names are arbitrary strings -- an undecodable filename can smuggle
+    surrogates into a run key -- and used to poison the persisted JSON for
+    strict parsers.  Such keys are now escaped to ASCII on save and restored
+    bit-exactly on load.
+    """
+
+    SURROGATE_KEY = "prog\udcff:abc\ud800:def"
+
+    def test_round_trip_preserves_surrogate_key(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        cache = RunCache(persist_path=path)
+        cache.put(self.SURROGATE_KEY, result(time=3.0), has_output=False)
+        cache.put("plain:key", result(time=4.0), has_output=False)
+        assert cache.save() == 2
+        fresh = RunCache(persist_path=path)
+        assert fresh.load() == 2
+        assert fresh.get(self.SURROGATE_KEY).time == 3.0
+        assert fresh.get("plain:key").time == 4.0
+
+    def test_persisted_file_is_valid_utf8_json(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = RunCache(persist_path=str(path))
+        cache.put(self.SURROGATE_KEY, result(), has_output=False)
+        cache.save()
+        raw = path.read_bytes()
+        payload = json.loads(raw.decode("utf-8"))  # strict decode must succeed
+        assert list(payload["entries"]) != [self.SURROGATE_KEY]
+
+    def test_key_colliding_with_escape_prefix_round_trips(self, tmp_path):
+        from repro.runtime.cache import _ESCAPED_KEY_PREFIX
+
+        tricky = _ESCAPED_KEY_PREFIX + "impostor"
+        path = str(tmp_path / "cache.json")
+        cache = RunCache(persist_path=path)
+        cache.put(tricky, result(time=5.0), has_output=False)
+        cache.save()
+        fresh = RunCache(persist_path=path)
+        assert fresh.load() == 1
+        assert fresh.get(tricky).time == 5.0
+
+    def test_non_string_key_raises_explicitly(self, tmp_path):
+        cache = RunCache(persist_path=str(tmp_path / "cache.json"))
+        cache.put(123, result(), has_output=False)  # type: ignore[arg-type]
+        with pytest.raises(ValueError, match="keys must be strings"):
+            cache.save()
+
+    def test_surrogate_extras_dropped_not_poisonous(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        cache = RunCache(persist_path=path)
+        cache.put("k", result(extra={"ok": 1, "bad": "x\udcff"}), has_output=False)
+        cache.save()
+        fresh = RunCache(persist_path=path)
+        assert fresh.load() == 1
+        assert fresh.get("k").extra == {"ok": 1}
