@@ -1,28 +1,35 @@
-"""Benchmark: the measurement runtime (executors + run cache).
+"""Benchmark: the measurement runtime (executors + run cache + streaming).
 
 Records the perf baseline future scale-up PRs are measured against:
 
 * serial vs. process-pool wall time for one small Table-1 row (``sort1``),
 * cold-cache vs. warm-cache wall time and the warm run's cache hit rate,
-* raw executor throughput on one N x K measurement matrix.
+* raw executor throughput on one N x K measurement matrix,
+* peak transient memory of a measurement matrix with and without streaming
+  chunks (``Runtime.batch_chunk``).
 
 The warm-cache run must be decisively faster than the cold run (every
 program execution is replaced by a cache lookup); the parallel numbers are
 recorded for tracking rather than asserted, because speedup depends on the
-host's core count and the benchmark's run-time granularity.
+host's core count and the benchmark's run-time granularity.  The streaming
+comparison asserts at ``REPRO_BENCH_SCALE=large`` that chunked dispatch
+keeps peak memory decisively below whole-batch dispatch (the results are
+asserted bit-identical at every scale).
 """
 
 from __future__ import annotations
 
 import time
+import tracemalloc
 
+import numpy as np
 import pytest
 
 from repro.benchmarks_suite import get_benchmark
 from repro.experiments.runner import run_experiment
 from repro.runtime import RunCache, Runtime
 
-from conftest import experiment_config
+from conftest import bench_scale, experiment_config
 
 
 def _config(executor: str, use_cache: bool = True):
@@ -104,3 +111,62 @@ def test_measurement_matrix_throughput(benchmark, executor):
     )
     runtime.close()
     assert measured["times"].shape == (24, 4)
+
+
+def test_streaming_peak_memory(benchmark):
+    """Peak transient memory of one N x K matrix: whole-batch vs chunked.
+
+    Without a cache, whole-batch dispatch holds every pair *and* every
+    result (including program outputs) until the batch completes -- O(N x K)
+    transient memory.  Streaming with ``batch_chunk`` folds each chunk into
+    the output arrays and drops it, so the transient footprint is bounded
+    by the chunk.  Results must be bit-identical either way.
+    """
+    variant = get_benchmark("sort1")
+    program = variant.benchmark.program
+    n_inputs = 400 if bench_scale() == "large" else 96
+    inputs = variant.benchmark.generate_inputs(n_inputs, variant.variant, seed=0)
+    import random
+
+    rng = random.Random(0)
+    configs = [program.default_configuration()] + [
+        program.config_space.sample(rng) for _ in range(3)
+    ]
+
+    def measure_with_peak(batch_chunk):
+        runtime = Runtime.create(
+            executor="serial", use_cache=False, batch_chunk=batch_chunk
+        )
+        tracemalloc.start()
+        try:
+            measured = runtime.measure(program, configs, inputs)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+            runtime.close()
+        return measured, peak
+
+    full, full_peak = measure_with_peak(None)
+    chunked, chunk_peak = measure_with_peak(32)
+    np.testing.assert_array_equal(full["times"], chunked["times"])
+    np.testing.assert_array_equal(full["accuracies"], chunked["accuracies"])
+
+    # Record the chunked run's wall time as the tracked perf number.
+    runtime = Runtime.create(executor="serial", use_cache=False, batch_chunk=32)
+    benchmark.pedantic(
+        runtime.measure, args=(program, configs, inputs), rounds=1, iterations=1
+    )
+    runtime.close()
+
+    ratio = full_peak / max(chunk_peak, 1)
+    print(
+        f"\n[runtime:streaming] n={n_inputs} k={len(configs)} "
+        f"full-peak={full_peak / 1e6:.2f}MB chunk-peak={chunk_peak / 1e6:.2f}MB "
+        f"ratio={ratio:.1f}x"
+    )
+    if bench_scale() == "large":
+        # At paper-closer sizes the chunked peak must be decisively smaller.
+        assert chunk_peak < full_peak * 0.5, (
+            f"streaming peak {chunk_peak} not below half of whole-batch "
+            f"peak {full_peak}"
+        )

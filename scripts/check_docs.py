@@ -1,0 +1,134 @@
+"""Build/lint the documentation tree: markdown checks + link validation.
+
+CI's docs job runs this over ``docs/`` and the top-level markdown files.
+Checks, per file:
+
+* **relative links resolve** -- every ``[text](target)`` whose target is
+  not an absolute URL or a pure in-page anchor must point at an existing
+  file (anchors on relative links are checked against the target file's
+  headings);
+* **in-page anchors resolve** against the file's own headings;
+* **fenced code blocks are balanced** (an unclosed fence swallows the rest
+  of the document silently on most renderers);
+* **no empty link targets** like ``[text]()``.
+
+Exit status 0 when clean, 1 with one line per problem otherwise::
+
+    python scripts/check_docs.py            # checks docs/ + *.md at the root
+    python scripts/check_docs.py README.md  # or an explicit file list
+"""
+
+from __future__ import annotations
+
+import functools
+import glob
+import os
+import re
+import sys
+from typing import List
+
+#: ``[text](target)`` -- deliberately simple; nested brackets in link text
+#: are not used in this repo's docs.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]*)\)")
+
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def _github_anchor(heading: str) -> str:
+    """GitHub's anchor slug for a heading (the subset our docs need)."""
+    text = heading.strip().lower()
+    text = re.sub(r"[`*_~]", "", text)  # inline formatting
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links -> text
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _strip_code_blocks(lines: List[str]) -> List[str]:
+    """Blank out fenced code blocks so links inside them are not checked."""
+    stripped: List[str] = []
+    in_fence = False
+    for line in lines:
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            stripped.append("")
+            continue
+        stripped.append("" if in_fence else line)
+    return stripped
+
+
+@functools.lru_cache(maxsize=None)
+def _anchors_of(path: str) -> set:
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    anchors = set()
+    for line in _strip_code_blocks(lines):
+        match = _HEADING.match(line)
+        if match:
+            anchors.add(_github_anchor(match.group(1)))
+    return anchors
+
+
+def check_file(path: str) -> List[str]:
+    """All problems found in one markdown file."""
+    problems: List[str] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        raw_lines = handle.read().splitlines()
+
+    if sum(1 for line in raw_lines if line.lstrip().startswith("```")) % 2:
+        problems.append(f"{path}: unbalanced fenced code block (odd number of ```)")
+
+    base = os.path.dirname(os.path.abspath(path))
+    for lineno, line in enumerate(_strip_code_blocks(raw_lines), start=1):
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if target == "":
+                problems.append(f"{path}:{lineno}: empty link target")
+                continue
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, https:, mailto:
+                continue
+            if target.startswith("#"):
+                if _github_anchor(target[1:]) not in _anchors_of(path):
+                    problems.append(
+                        f"{path}:{lineno}: in-page anchor {target!r} has no heading"
+                    )
+                continue
+            file_part, _, anchor = target.partition("#")
+            resolved = os.path.normpath(os.path.join(base, file_part))
+            if not os.path.exists(resolved):
+                problems.append(
+                    f"{path}:{lineno}: broken relative link {target!r} "
+                    f"({resolved} does not exist)"
+                )
+                continue
+            if anchor and resolved.endswith(".md"):
+                if _github_anchor(anchor) not in _anchors_of(resolved):
+                    problems.append(
+                        f"{path}:{lineno}: anchor {('#' + anchor)!r} not found "
+                        f"in {resolved}"
+                    )
+    return problems
+
+
+def default_targets(root: str) -> List[str]:
+    targets = sorted(glob.glob(os.path.join(root, "*.md")))
+    targets += sorted(glob.glob(os.path.join(root, "docs", "**", "*.md"), recursive=True))
+    return targets
+
+
+def main(argv: List[str]) -> int:
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    targets = argv or default_targets(root)
+    problems: List[str] = []
+    for path in targets:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem)
+    print(
+        f"checked {len(targets)} markdown file(s): "
+        + ("OK" if not problems else f"{len(problems)} problem(s)")
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -4,7 +4,20 @@ A :class:`Benchmark` knows how to build its
 :class:`~repro.lang.program.PetaBricksProgram` (configuration space, run
 function, feature extractors, accuracy requirement) and how to generate
 input sets (synthetic and, where applicable, "real-world-like" variants that
-stand in for the paper's CCR / UCI datasets).
+stand in for the paper's CCR / UCI datasets).  A :class:`BenchmarkVariant`
+pairs a benchmark with one named input population -- the unit the paper's
+Table 1 calls a *test* (``sort1`` and ``sort2`` are the same Sort program
+over different populations) -- and :func:`registry` maps test names to
+variant factories so drivers can look benchmarks up by string.
+
+Contract for implementations: the program's run function must be a pure
+function of (configuration, input) under the deterministic cost model --
+any internal randomness seeded per run from constants -- and
+``generate_inputs(n, variant, seed)`` must be a pure function of its
+arguments.  Those two properties are what let the measurement runtime
+cache runs by content key, fan batches out over thread/process pools, and
+stream 50k-input measurement matrices chunk by chunk with bit-identical
+results.
 
 The learning framework and the experiment harness only use this interface,
 so adding a seventh benchmark requires no change outside its subpackage.

@@ -22,7 +22,7 @@ from repro.benchmarks_suite import registry
 from repro.runtime import EXECUTORS
 from repro.experiments.figure7 import model_figure7a, model_figure7b
 from repro.experiments.reporting import format_series, format_table
-from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.experiments.runner import ExperimentConfig, _env_batch_chunk, run_experiment
 from repro.experiments.table1 import TABLE1_TESTS, format_table1, run_table1, summarize_headline
 
 
@@ -36,6 +36,7 @@ def _experiment_config(args: argparse.Namespace) -> ExperimentConfig:
         workers=args.workers,
         use_cache=not args.no_cache,
         cache_path=args.cache_path,
+        batch_chunk=args.batch_chunk,
     )
 
 
@@ -64,7 +65,15 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache-path",
         default=None,
-        help="JSON file to load/persist run measurements across invocations",
+        help="sharded store (directory) to load/persist run measurements "
+        "across invocations; a legacy single-file cache migrates in place",
+    )
+    parser.add_argument(
+        "--batch-chunk",
+        type=int,
+        default=_env_batch_chunk(),
+        help="stream measurement/task batches in chunks of this many items "
+        "(bounds peak memory; results are bit-identical)",
     )
     parser.add_argument(
         "--runtime-stats",
@@ -82,9 +91,14 @@ def _print_runtime_stats(args: argparse.Namespace, stats: dict) -> None:
         print(f"  executor fallback: {stats['executor_fallback']}")
     cache = stats.get("cache")
     if cache:
+        shards = (
+            f", {cache['shards_loaded']} shard(s) loaded"
+            if "shards_loaded" in cache
+            else ""
+        )
         print(
             f"  cache: {cache['entries']} entries, "
-            f"{cache['hits']} hits, {cache['misses']} misses"
+            f"{cache['hits']} hits, {cache['misses']} misses{shards}"
         )
     telemetry = stats.get("telemetry", {})
     counters = telemetry.get("counters", {})

@@ -57,7 +57,15 @@ from repro.core.selection import (
     evaluate_classifier,
     select_production_classifier,
 )
-from repro.runtime import Runtime, TaskSpec, content_key, default_runtime
+from repro.runtime import Runtime, SharedRef, TaskSpec, content_key, default_runtime
+
+#: Registry token under which candidate batches ship the dataset to workers.
+#: The dataset is by far the largest task argument (O(N x M) features plus the
+#: N x K1 matrices), so it rides the process pool's initializer -- crossing
+#: the process boundary once per pool -- while each task only carries this
+#: tiny placeholder.  See :class:`repro.runtime.SharedRef`.
+_DATASET_TOKEN = "level2.dataset"
+_DATASET_REF = SharedRef(_DATASET_TOKEN)
 
 
 @dataclass
@@ -440,9 +448,11 @@ def train_classifier_zoo(
         candidates,
         content_key(fingerprint, train_rows),
         fit_candidate,
-        (dataset, labels, train_rows),
+        (_DATASET_REF, labels, train_rows),
     )
-    return active.run_tasks(tasks, phase="level2.fit")
+    return active.run_tasks(
+        tasks, phase="level2.fit", shared={_DATASET_TOKEN: dataset}
+    )
 
 
 def run_level2(
@@ -501,9 +511,11 @@ def run_level2(
         candidates,
         content_key(fingerprint, train_rows, test_rows),
         fit_and_evaluate_candidate,
-        (dataset, labels, train_rows, test_rows),
+        (_DATASET_REF, labels, train_rows, test_rows),
     )
-    fitted = active.run_tasks(tasks, phase="level2.candidates")
+    fitted = active.run_tasks(
+        tasks, phase="level2.candidates", shared={_DATASET_TOKEN: dataset}
+    )
     classifiers = [classifier for classifier, _ in fitted]
     evaluations = [evaluation for _, evaluation in fitted]
     production = select_production_classifier(evaluations)

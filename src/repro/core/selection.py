@@ -25,7 +25,12 @@ import numpy as np
 from repro.core.classifiers import CandidateClassifier
 from repro.core.dataset import PerformanceDataset
 from repro.ml.crossval import StratifiedKFold
-from repro.runtime import Runtime, TaskSpec, content_key, default_runtime
+from repro.runtime import Runtime, SharedRef, TaskSpec, content_key, default_runtime
+
+#: Registry token under which fold batches ship the dataset to workers once
+#: per pool (see :class:`repro.runtime.SharedRef`).
+_CV_DATASET_TOKEN = "selection.cv.dataset"
+_CV_DATASET_REF = SharedRef(_CV_DATASET_TOKEN)
 
 #: Score assigned to classifiers that miss the satisfaction threshold.
 INVALID_COST = float("inf")
@@ -150,10 +155,21 @@ def cross_validate_classifier(
     if n_splits < 2:
         raise ValueError("n_splits must be >= 2")
     splitter = StratifiedKFold(n_splits=n_splits, random_state=seed)
+    # The dataset positional argument rides the shared-argument registry
+    # (once per pool); the factory may still close over a dataset of its
+    # own -- e.g. the ``functools.partial`` run_level2 passes -- which then
+    # re-pickles with each fold chunk.  Folds are few, so that residual
+    # cost is noise next to the candidate search's registry win.
     tasks = [
         TaskSpec(
             fn=_fit_and_evaluate_fold,
-            args=(classifier_factory, dataset, labels, rows[fold_train], rows[fold_test]),
+            args=(
+                classifier_factory,
+                _CV_DATASET_REF,
+                labels,
+                rows[fold_train],
+                rows[fold_test],
+            ),
             key=(
                 content_key(key_prefix, rows[fold_train], rows[fold_test])
                 if key_prefix is not None
@@ -163,7 +179,9 @@ def cross_validate_classifier(
         )
         for fold_index, (fold_train, fold_test) in enumerate(splitter.split(labels[rows]))
     ]
-    return active.run_tasks(tasks, phase="selection.crossval")
+    return active.run_tasks(
+        tasks, phase="selection.crossval", shared={_CV_DATASET_TOKEN: dataset}
+    )
 
 
 def select_production_classifier(

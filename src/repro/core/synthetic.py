@@ -2,9 +2,20 @@
 
 A :class:`~repro.core.dataset.PerformanceDataset` whose best landmark is
 decided by a single cheap feature lets Level-2 components be exercised (and
-raced across executors) without running Level 1 first.  The generator is
-deterministic given its seed, which is what the cross-executor determinism
-and golden tests rely on.
+raced across executors) without running Level 1 first: no input generation,
+no clustering, no autotuning -- just a datatable with a known-learnable
+structure.  :func:`synthetic_level2_dataset` builds one with ``n`` rows,
+a configurable feature grid (``n_properties`` x ``n_levels`` sampling
+levels, mirroring the paper's property to levels layout), and optionally a
+variable-accuracy contract so the satisfaction-threshold paths of
+selection and the cost matrix get exercised too.
+
+The generator is a pure function of its ``seed`` -- every draw comes from
+one ``numpy`` RNG constructed from it -- which is what the cross-executor
+determinism suite (`tests/runtime/test_level2_parallel.py`), the streaming
+determinism suite (`tests/runtime/test_streaming.py`), and the golden
+snapshot test rely on: the same seed must produce the byte-identical
+dataset on every host, run, and executor.
 """
 
 from __future__ import annotations

@@ -1,8 +1,17 @@
 """Plain-text rendering helpers for experiment output.
 
-The experiment drivers return structured data; these helpers turn that data
-into aligned ASCII tables (for the console and for EXPERIMENTS.md) and into
-simple CSV strings, keeping all formatting concerns out of the drivers.
+The experiment drivers (:mod:`repro.experiments.table1`, the figure
+modules, the CLI commands) return structured data -- rows, curves, method
+outcomes -- and deliberately know nothing about presentation; these helpers
+turn that data into aligned ASCII tables (for the console and for
+EXPERIMENTS.md) and into simple CSV strings.
+
+Keeping every formatting concern here means a driver's output can be
+snapshot-tested as data, the CLI stays a thin ``print`` loop, and a future
+surface (HTML report, service endpoint) only needs a new renderer, not a
+change to any driver.  Everything in this module is pure string
+manipulation: no I/O, no numpy beyond what the caller already converted,
+no dependency on the rest of the package.
 """
 
 from __future__ import annotations

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import contextlib
 import os
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
@@ -42,6 +43,23 @@ def _env_workers() -> Optional[int]:
     return int(value) if value else None
 
 
+def _env_batch_chunk() -> Optional[int]:
+    """``REPRO_BATCH_CHUNK`` as an int, or None when unset/unusable.
+
+    Shared by ``ExperimentConfig`` and the CLI's ``--batch-chunk`` default;
+    a malformed value degrades to "no chunking" with a warning instead of
+    crashing before any useful output.
+    """
+    value = os.environ.get("REPRO_BATCH_CHUNK", "").strip()
+    if not value:
+        return None
+    try:
+        return int(value)
+    except ValueError:
+        warnings.warn(f"ignoring non-integer REPRO_BATCH_CHUNK={value!r}")
+        return None
+
+
 @dataclass
 class ExperimentConfig:
     """Size and seed knobs shared by all experiment drivers.
@@ -55,11 +73,17 @@ class ExperimentConfig:
     ``process``; overridable via the ``REPRO_EXECUTOR`` / ``REPRO_WORKERS``
     environment variables), ``use_cache`` deduplicates identical runs within
     and across pipeline stages, and ``cache_path`` persists measurements to
-    a JSON file shared by later runs.  The executor carries program runs
-    *and* the learning tasks built on the generalized task layer -- Level
-    2's candidate search and the autotuner's objective evaluations -- so a
-    parallel executor accelerates training end to end, with results
-    identical to serial by construction.
+    a sharded on-disk store shared by later runs.  The executor carries
+    program runs *and* the learning tasks built on the generalized task
+    layer -- Level 2's candidate search and the autotuner's objective
+    evaluations -- so a parallel executor accelerates training end to end,
+    with results identical to serial by construction.
+
+    ``batch_chunk`` (``--batch-chunk`` / ``REPRO_BATCH_CHUNK``) enables
+    streaming measurement batches: the N x K1 matrix and the Level-2 task
+    batches are dispatched in chunks of at most this many items, bounding
+    peak memory by O(chunk) on the way to the paper's 50-60k-input regime.
+    Results are bit-identical with or without it, whatever the executor.
     """
 
     n_inputs: int = 240
@@ -74,6 +98,7 @@ class ExperimentConfig:
     workers: Optional[int] = field(default_factory=_env_workers)
     use_cache: bool = True
     cache_path: Optional[str] = None
+    batch_chunk: Optional[int] = field(default_factory=_env_batch_chunk)
 
     def make_runtime(self) -> Runtime:
         """Build the measurement runtime these knobs describe."""
@@ -82,6 +107,7 @@ class ExperimentConfig:
             workers=self.workers,
             use_cache=self.use_cache,
             cache_path=self.cache_path,
+            batch_chunk=self.batch_chunk,
         )
 
     @contextlib.contextmanager

@@ -11,6 +11,7 @@ from repro.runtime.executors import (
     BaseExecutor,
     ProcessExecutor,
     SerialExecutor,
+    SharedRef,
     ThreadExecutor,
     get_executor,
 )
@@ -34,6 +35,7 @@ __all__ = [
     "RunCache",
     "Runtime",
     "SerialExecutor",
+    "SharedRef",
     "TaskCache",
     "TaskSpec",
     "Telemetry",

@@ -12,26 +12,53 @@ Two storage tiers:
 
 * **in-memory** -- an LRU-bounded dict of :class:`~repro.lang.program.RunResult`
   objects.  A hit returns the *identical* result object that was stored.
-* **on-disk (optional)** -- a JSON file holding the measurements (time,
-  accuracy, JSON-safe extras) but *not* the program output.  Loaded entries
-  are marked output-free; a caller that needs the output (deployment-style
-  runs) treats them as misses and re-executes.
+* **on-disk (optional)** -- a *sharded store*: a directory holding a small
+  manifest (``cache-meta.json``) and one JSON file per key-hash prefix under
+  ``shards/``.  Shards record the measurements (time, accuracy, JSON-safe
+  extras) but *not* the program output; loaded entries are marked
+  output-free, and a caller that needs the output (deployment-style runs)
+  treats them as misses and re-executes.
+
+The sharded layout is what lets the cache follow the runtime to the paper's
+50-60k-input regime: :meth:`RunCache.save` rewrites only the shards touched
+since the last save (atomically, temp file + rename, merging with whatever
+is already on disk), and :meth:`RunCache.load` defers reading a shard until
+the first lookup that lands in it.  A legacy single-file cache written by
+earlier versions is migrated to the sharded layout transparently on first
+load.
 """
 
 from __future__ import annotations
 
 import base64
+import glob
+import hashlib
 import json
 import os
+import shutil
 import tempfile
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Set
 
 from repro.lang.program import RunResult
 
-#: On-disk format version; bumped when the entry layout changes.
+#: On-disk format version of one entry table (a shard file or a legacy
+#: single-file cache); bumped when the entry layout changes.
 _FORMAT_VERSION = 1
+
+#: Manifest format version of the sharded store.
+_STORE_VERSION = 1
+
+#: Hex digits of the key hash that select a shard (2 -> up to 256 shards).
+_SHARD_PREFIX_LEN = 2
+
+#: Manifest filename inside a sharded store directory.
+_META_NAME = "cache-meta.json"
+
+#: Subdirectory of a sharded store holding the shard files.
+_SHARDS_DIR = "shards"
 
 #: Prefix marking a key that was base64-escaped for persistence.  Keys are
 #: normally hex digests with a program-name prefix, but program names are
@@ -71,6 +98,81 @@ def _unescape_key(stored: str) -> str:
     return raw.decode("utf-8", "surrogatepass")
 
 
+def _shard_of(key: str) -> str:
+    """The shard id (hex prefix) a key belongs to.
+
+    Hashing the *escaped* key keeps the computation ASCII-safe for keys
+    carrying lone surrogates and makes the shard assignment a pure function
+    of what actually lands in the file.
+    """
+    digest = hashlib.sha1(_escape_key(key).encode("ascii", "backslashreplace"))
+    return digest.hexdigest()[:_SHARD_PREFIX_LEN]
+
+
+def _entry_record(entry: "CacheEntry") -> Dict[str, Any]:
+    """The JSON record persisted for one cache entry (measurements only)."""
+    record: Dict[str, Any] = {
+        "time": entry.result.time,
+        "accuracy": entry.result.accuracy,
+    }
+    extra = _json_safe_extra(entry.result.extra)
+    if extra:
+        record["extra"] = extra
+    return record
+
+
+def _record_result(record: Dict[str, Any]) -> RunResult:
+    """Invert :func:`_entry_record` (outputs are never persisted)."""
+    return RunResult(
+        output=None,
+        time=float(record["time"]),
+        accuracy=float(record["accuracy"]),
+        extra=dict(record.get("extra", {})),
+    )
+
+
+def _atomic_write_json(target: str, payload: Any) -> None:
+    """Write ``payload`` as UTF-8 JSON via temp file + rename."""
+    directory = os.path.dirname(os.path.abspath(target))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp_path, target)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+
+
+def _read_entry_table(path: str) -> Optional[Dict[str, Dict[str, Any]]]:
+    """Parse one entry table (shard file or legacy cache file).
+
+    Returns the ``{escaped_key: record}`` mapping, or None when the file is
+    missing, corrupt, or of an incompatible version (the caller decides
+    whether that deserves a warning).
+    """
+    if not os.path.isfile(path):
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if not isinstance(payload, dict) or payload.get("version") != _FORMAT_VERSION:
+            return None
+        entries = payload.get("entries", {})
+        if not isinstance(entries, dict):
+            return None
+        # Validate eagerly so a half-garbled shard is rejected wholesale
+        # instead of crashing a later lazy lookup.
+        for record in entries.values():
+            float(record["time"])
+            float(record["accuracy"])
+        return entries
+    except (OSError, ValueError, KeyError, TypeError, AttributeError):
+        return None
+
+
 @dataclass
 class CacheEntry:
     """One stored run.
@@ -87,12 +189,15 @@ class CacheEntry:
 
 
 class RunCache:
-    """LRU cache of run results with optional JSON persistence.
+    """LRU cache of run results with optional sharded JSON persistence.
 
     Args:
         max_entries: in-memory entry cap; least-recently-used entries are
             evicted once the cap is exceeded.  ``None`` means unbounded.
-        persist_path: default file path for :meth:`save` / :meth:`load`.
+        persist_path: default store path for :meth:`save` / :meth:`load`.
+            The path names a *directory* (the sharded store); a legacy
+            single-file JSON cache found at the path is migrated in place on
+            first load.
     """
 
     def __init__(
@@ -108,11 +213,21 @@ class RunCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: Store directory attached by :meth:`load` for lazy shard reads.
+        self._attached_store: Optional[str] = None
+        #: Shard ids already read (or found missing) from the attached store.
+        self._seen_shards: Set[str] = set()
+        #: Shard ids holding entries added/updated since the last save.
+        self._dirty_shards: Set[str] = set()
 
     # -- core operations ------------------------------------------------
 
     def get(self, key: str, need_output: bool = False) -> Optional[RunResult]:
         """Return the cached result for ``key``, or None on a miss.
+
+        When a sharded store is attached (see :meth:`load`), a miss first
+        faults in the shard the key hashes to -- each shard is read at most
+        once per process -- so the big on-disk cache never loads wholesale.
 
         Args:
             key: run key (see :mod:`repro.runtime.keys`).
@@ -120,6 +235,8 @@ class RunCache:
                 counts as a miss, so the caller re-executes and refreshes it.
         """
         entry = self._store.get(key)
+        if entry is None and self._fault_in_shard(key):
+            entry = self._store.get(key)
         if entry is None or (need_output and not entry.has_output):
             self.misses += 1
             return None
@@ -131,6 +248,8 @@ class RunCache:
         """Store ``result`` under ``key``, evicting LRU entries if needed."""
         self._store[key] = CacheEntry(result=result, has_output=has_output)
         self._store.move_to_end(key)
+        if self.persist_path is not None and isinstance(key, str):
+            self._dirty_shards.add(_shard_of(key))
         if self.max_entries is not None:
             while len(self._store) > self.max_entries:
                 self._store.popitem(last=False)
@@ -143,93 +262,300 @@ class RunCache:
         return key in self._store
 
     def clear(self) -> None:
-        """Drop all entries (statistics are kept)."""
+        """Drop all in-memory entries (statistics and disk state are kept)."""
         self._store.clear()
 
-    # -- persistence ----------------------------------------------------
+    def _insert_loaded(self, key: str, result: RunResult) -> None:
+        """Insert an entry read from disk.
+
+        Unlike :meth:`put` this does not mark the key's shard dirty -- the
+        entry is already persisted -- so lazy faults never force a pointless
+        shard rewrite (or, worse, mask a genuinely dirty shard's pending
+        additions by being conflated with them).
+        """
+        self._store[key] = CacheEntry(result=result, has_output=False)
+        self._store.move_to_end(key)
+        if self.max_entries is not None:
+            while len(self._store) > self.max_entries:
+                self._store.popitem(last=False)
+                self.evictions += 1
+
+    # -- sharded persistence --------------------------------------------
 
     def save(self, path: Optional[str] = None) -> int:
-        """Write all entries' measurements to a JSON file.
+        """Persist dirty shards to the sharded store; returns entries written.
+
+        Only the shards touched since the last save (plus, for a store other
+        than the attached one, every shard holding in-memory entries) are
+        rewritten.  Each shard write is atomic (temp file + rename) and
+        *merges* with the shard already on disk -- in-memory entries win on
+        key collision -- so concurrent writers to the same store and entries
+        evicted from memory since loading are never silently dropped.
 
         Program outputs are not persisted (they can be arbitrary objects);
-        reloaded entries therefore serve measurement lookups only.  Returns
-        the number of entries written.  The write is atomic (temp file +
-        rename), so a crashed run cannot leave a truncated cache behind.
-
-        Keys that are not UTF-8-safe are escaped to ASCII (and restored
-        exactly by :meth:`load`) so the file stays valid UTF-8 JSON; a
-        non-string key raises ``ValueError`` rather than being dropped.
+        reloaded entries therefore serve measurement lookups only.  Keys
+        that are not UTF-8-safe are escaped to ASCII (and restored exactly
+        by :meth:`load`) so every file stays valid UTF-8 JSON; a non-string
+        key raises ``ValueError`` rather than being dropped.
         """
         target = path or self.persist_path
         if target is None:
             raise ValueError("no persist path configured")
-        entries: Dict[str, Dict[str, Any]] = {}
+        if os.path.isfile(target):
+            # A file at the store path means a legacy cache whose migration
+            # failed earlier (load() already warned).  Persisting is an
+            # optimization, so degrade rather than crash the run -- and
+            # never clobber the user's file with a directory.
+            warnings.warn(
+                f"not persisting run cache: {target!r} is a file, not a "
+                "sharded store directory",
+                stacklevel=2,
+            )
+            return 0
+
+        by_shard: Dict[str, Dict[str, Dict[str, Any]]] = {}
         for key, entry in self._store.items():
             if not isinstance(key, str):
                 raise ValueError(f"cache keys must be strings, got {type(key).__name__}")
-            record: Dict[str, Any] = {
-                "time": entry.result.time,
-                "accuracy": entry.result.accuracy,
-            }
-            extra = _json_safe_extra(entry.result.extra)
-            if extra:
-                record["extra"] = extra
-            entries[_escape_key(key)] = record
-        payload = {"version": _FORMAT_VERSION, "entries": entries}
-        directory = os.path.dirname(os.path.abspath(target))
-        os.makedirs(directory, exist_ok=True)
-        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle)
-            os.replace(tmp_path, target)
-        except BaseException:
-            if os.path.exists(tmp_path):
-                os.unlink(tmp_path)
-            raise
-        return len(entries)
+            by_shard.setdefault(_shard_of(key), {})[_escape_key(key)] = _entry_record(entry)
+
+        own_store = self._is_own_store(target)
+        if own_store:
+            # Entries faulted in from this store are already on disk; only
+            # shards with additions since the last save need rewriting.
+            shard_ids = set(self._dirty_shards)
+        else:
+            shard_ids = set(by_shard)
+
+        written = 0
+        counts: Dict[str, int] = {}
+        for shard_id in sorted(shard_ids):
+            shard_path = self._shard_path(target, shard_id)
+            merged = _read_entry_table(shard_path) or {}
+            merged.update(by_shard.get(shard_id, {}))
+            _atomic_write_json(
+                shard_path, {"version": _FORMAT_VERSION, "entries": merged}
+            )
+            counts[shard_id] = len(merged)
+            written += len(merged)
+        self._write_meta(target, counts)
+        if own_store:
+            self._dirty_shards.clear()
+        return written
 
     def load(self, path: Optional[str] = None) -> int:
-        """Load entries from a JSON file written by :meth:`save`.
+        """Attach a sharded store for lazy reads; returns entries available.
 
-        Missing, corrupt, or incompatible files are tolerated (returns 0):
-        the cache is an optimization, so a bad file must degrade to a cold
-        start, never kill the run.  Loaded entries are output-free.
-        Returns the number of entries loaded.
+        Shards are *not* read here -- each one is faulted in by the first
+        :meth:`get` that lands in it -- so attaching a 50k-entry store costs
+        one manifest read.  The returned count comes from the manifest.
+
+        A legacy single-file cache found at ``path`` is loaded eagerly and
+        migrated to the sharded layout in place (one-shot: the file is
+        replaced by a store directory at the same path).
+
+        Missing, corrupt, or incompatible files are tolerated: the cache is
+        an optimization, so a bad file degrades to a cold start (with a
+        warning naming the offender), never a crash.  Loaded entries are
+        output-free.
         """
         target = path or self.persist_path
         if target is None:
             raise ValueError("no persist path configured")
-        if not os.path.exists(target):
+        if os.path.isfile(target):
+            return self._load_legacy_and_migrate(target)
+        if not os.path.isdir(target):
             return 0
-        try:
-            with open(target, "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
-            if not isinstance(payload, dict) or payload.get("version") != _FORMAT_VERSION:
-                return 0
-            entries = payload.get("entries", {})
-            loaded = 0
-            for key, record in entries.items():
-                result = RunResult(
-                    output=None,
-                    time=float(record["time"]),
-                    accuracy=float(record["accuracy"]),
-                    extra=dict(record.get("extra", {})),
+
+        self._attached_store = target
+        self._seen_shards = set()
+        meta = self._read_meta(target)
+        if meta is not None:
+            return int(sum(meta.get("shards", {}).values()))
+
+        # No readable manifest (corrupt, or a foreign directory): fall back
+        # to an eager scan of whatever shard files are present, rebuilding
+        # the manifest as a side effect.
+        shard_paths = sorted(
+            glob.glob(os.path.join(target, _SHARDS_DIR, "*.json"))
+        )
+        if not shard_paths and not os.path.exists(os.path.join(target, _META_NAME)):
+            return 0
+        warnings.warn(
+            f"run cache store {target!r} has no readable manifest; "
+            "rescanning shards",
+            stacklevel=2,
+        )
+        loaded = 0
+        counts: Dict[str, int] = {}
+        for shard_path in shard_paths:
+            shard_id = os.path.splitext(os.path.basename(shard_path))[0]
+            entries = _read_entry_table(shard_path)
+            if entries is None:
+                warnings.warn(
+                    f"run cache shard {shard_path!r} is corrupt; ignoring it",
+                    stacklevel=2,
                 )
-                self.put(_unescape_key(key), result, has_output=False)
-                loaded += 1
-            return loaded
-        except (OSError, ValueError, KeyError, TypeError, AttributeError):
+                continue
+            self._seen_shards.add(shard_id)
+            for stored, record in entries.items():
+                self._insert_loaded(_unescape_key(stored), _record_result(record))
+            counts[shard_id] = len(entries)
+            loaded += len(entries)
+        self._write_meta(target, counts)
+        return loaded
+
+    def _load_legacy_and_migrate(self, target: str) -> int:
+        """Load a legacy single-file cache and convert it to a sharded store."""
+        entries = _read_entry_table(target)
+        if entries is None:
+            warnings.warn(
+                f"run cache file {target!r} is corrupt or incompatible; "
+                "starting with an empty cache",
+                stacklevel=3,
+            )
             return 0
+        for stored, record in entries.items():
+            self._insert_loaded(_unescape_key(stored), _record_result(record))
+
+        # One-shot migration: build the store next to the file, then swap it
+        # into place.  A failure (permissions, say) only costs the migration
+        # -- the entries are already in memory and a later save() retries.
+        staging: Optional[str] = None
+        by_shard: Dict[str, Dict[str, Dict[str, Any]]] = {}
+        try:
+            staging = tempfile.mkdtemp(
+                dir=os.path.dirname(os.path.abspath(target)), suffix=".migrating"
+            )
+            for stored, record in entries.items():
+                by_shard.setdefault(_shard_of(_unescape_key(stored)), {})[stored] = record
+            counts = {}
+            for shard_id, shard_entries in by_shard.items():
+                _atomic_write_json(
+                    self._shard_path(staging, shard_id),
+                    {"version": _FORMAT_VERSION, "entries": shard_entries},
+                )
+                counts[shard_id] = len(shard_entries)
+            self._write_meta(staging, counts)
+            # Swap restorably: park the legacy file first so a failing
+            # rename can put it back instead of losing the cache on disk.
+            backup = target + ".pre-shard"
+            os.replace(target, backup)
+            try:
+                os.rename(staging, target)
+            except OSError:
+                os.replace(backup, target)
+                raise
+            os.unlink(backup)
+        except OSError as error:
+            warnings.warn(
+                f"could not migrate legacy run cache {target!r} to the "
+                f"sharded layout: {error}",
+                stacklevel=3,
+            )
+            if staging is not None:
+                shutil.rmtree(staging, ignore_errors=True)
+            return len(entries)
+        self._attached_store = target
+        self._seen_shards = set(by_shard)
+        return len(entries)
+
+    def _fault_in_shard(self, key: str) -> bool:
+        """Read ``key``'s shard from the attached store; True if it loaded."""
+        if self._attached_store is None or not isinstance(key, str):
+            return False
+        shard_id = _shard_of(key)
+        if shard_id in self._seen_shards:
+            return False
+        self._seen_shards.add(shard_id)
+        shard_path = self._shard_path(self._attached_store, shard_id)
+        if not os.path.exists(shard_path):
+            return False
+        entries = _read_entry_table(shard_path)
+        if entries is None:
+            warnings.warn(
+                f"run cache shard {shard_path!r} is corrupt; ignoring it",
+                stacklevel=3,
+            )
+            return False
+        requested: Optional[Dict[str, Any]] = None
+        for stored, record in entries.items():
+            stored_key = _unescape_key(stored)
+            if stored_key == key:
+                # Defer the key being looked up to the end: inserting it
+                # mid-shard could see it LRU-evicted by the rest of the
+                # shard's entries on a tightly capped cache, and the shard
+                # is never re-read, so the miss would become permanent.
+                requested = record
+                continue
+            # A fresher in-memory entry (e.g. one carrying a live output)
+            # must not be clobbered by its stale on-disk measurement.
+            if stored_key not in self._store:
+                self._insert_loaded(stored_key, _record_result(record))
+        if requested is not None and key not in self._store:
+            self._insert_loaded(key, _record_result(requested))
+        return True
+
+    def _is_own_store(self, target: str) -> bool:
+        """Is ``target`` the store this cache's disk bookkeeping describes?
+
+        The dirty-shard set says "these shards differ from the *attached*
+        store" -- entries faulted in from it are deliberately not dirty.
+        Saving anywhere else must therefore write every in-memory shard,
+        or the faulted-in entries would silently be missing from the copy.
+        With no store attached, ``persist_path`` is the reference: every
+        in-memory entry not from disk was ``put()`` and marked dirty.
+        """
+        reference = (
+            self._attached_store
+            if self._attached_store is not None
+            else self.persist_path
+        )
+        if reference is None:
+            return False
+        return os.path.abspath(target) == os.path.abspath(reference)
+
+    @staticmethod
+    def _shard_path(store: str, shard_id: str) -> str:
+        return os.path.join(store, _SHARDS_DIR, f"{shard_id}.json")
+
+    @staticmethod
+    def _read_meta(store: str) -> Optional[Dict[str, Any]]:
+        path = os.path.join(store, _META_NAME)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                meta = json.load(handle)
+            if (
+                not isinstance(meta, dict)
+                or meta.get("store_version") != _STORE_VERSION
+                or not isinstance(meta.get("shards"), dict)
+            ):
+                return None
+            return meta
+        except (OSError, ValueError):
+            return None
+
+    def _write_meta(self, store: str, counts: Dict[str, int]) -> None:
+        """Merge shard entry counts into the store manifest (atomically)."""
+        meta = self._read_meta(store) or {
+            "store_version": _STORE_VERSION,
+            "prefix_len": _SHARD_PREFIX_LEN,
+            "shards": {},
+        }
+        meta["shards"].update(counts)
+        _atomic_write_json(os.path.join(store, _META_NAME), meta)
 
     def stats(self) -> Dict[str, int]:
         """Hit/miss/eviction counters plus the current size."""
-        return {
+        info = {
             "entries": len(self._store),
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
         }
+        if self._attached_store is not None:
+            info["shards_loaded"] = len(self._seen_shards)
+        return info
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RunCache(entries={len(self._store)}, hits={self.hits}, misses={self.misses})"

@@ -21,9 +21,11 @@ held in context variables), the three strategies are interchangeable:
 from __future__ import annotations
 
 import concurrent.futures
+import math
 import os
 import pickle
-from typing import Any, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.lang.config import Configuration
 from repro.lang.program import PetaBricksProgram, RunResult
@@ -35,10 +37,67 @@ Task = Tuple[Configuration, Any]
 CallTask = Tuple[Any, Tuple[Any, ...], dict]
 
 
-def _invoke_call(call: CallTask) -> Any:
-    """Execute one generic call task (module-level so process pools can ship it)."""
+@dataclass(frozen=True)
+class SharedRef:
+    """Placeholder for a large argument shipped to workers once per pool.
+
+    A call batch whose tasks all carry the same big object (the Level-2
+    dataset, say) would otherwise re-pickle that object once per chunk.
+    Instead the caller passes the object in the batch's ``shared`` mapping
+    and puts a ``SharedRef(token)`` in each task's arguments; executors
+    substitute the real object at invocation time.  The process executor
+    installs the mapping in every worker through the pool initializer --
+    exactly how ``run_batch`` already ships the program -- so the object
+    crosses the process boundary once per pool, not once per chunk.
+
+    Refs are resolved in top-level positional and keyword arguments only;
+    a ref nested inside another container is passed through untouched.
+    """
+
+    token: str
+
+
+def _substitute_shared(call: CallTask, shared: Dict[str, Any]) -> CallTask:
+    """Replace top-level :class:`SharedRef` arguments with their objects."""
     fn, args, kwargs = call
+    if not any(isinstance(a, SharedRef) for a in args) and not any(
+        isinstance(v, SharedRef) for v in kwargs.values()
+    ):
+        return call
+    args = tuple(shared[a.token] if isinstance(a, SharedRef) else a for a in args)
+    kwargs = {
+        k: shared[v.token] if isinstance(v, SharedRef) else v
+        for k, v in kwargs.items()
+    }
+    return (fn, args, kwargs)
+
+
+def _invoke_call(call: CallTask) -> Any:
+    """Execute one generic call task (module-level so process pools can ship it).
+
+    In a pool worker, :class:`SharedRef` arguments resolve against the
+    mapping the pool initializer installed; in the parent process the
+    executors substitute refs before invoking, so the worker-side lookup
+    only ever sees refs when the registry holds them.
+    """
+    fn, args, kwargs = _substitute_shared(call, _WORKER_SHARED)
     return fn(*args, **kwargs)
+
+
+def _call_chunksize(n_calls: int, workers: int) -> int:
+    """Chunk size for ``pool.map`` over a generic call batch.
+
+    Large batches target four chunks per worker (load balancing); small
+    batches (fewer than ``workers * 4`` calls) target one chunk per worker
+    instead of degenerating to chunksize 1, which would re-pickle any
+    shared chunk content once per call.
+    """
+    if n_calls <= 0:
+        return 1
+    target_chunks = workers * 4
+    if n_calls <= target_chunks:
+        target_chunks = workers
+    return max(1, math.ceil(n_calls / target_chunks))
 
 
 def _default_workers() -> int:
@@ -57,12 +116,19 @@ class BaseExecutor:
         """Execute every task and return results in task order."""
         raise NotImplementedError
 
-    def run_calls(self, calls: Sequence[CallTask]) -> List[Any]:
+    def run_calls(
+        self,
+        calls: Sequence[CallTask],
+        shared: Optional[Dict[str, Any]] = None,
+    ) -> List[Any]:
         """Execute a batch of generic ``(fn, args, kwargs)`` calls, in order.
 
         The generalized-task counterpart of :meth:`run_batch`: the calls
         must be pure functions of their arguments, and results come back in
         submission order whatever the execution strategy.
+
+        ``shared`` maps :class:`SharedRef` tokens to the (large) objects the
+        calls reference; see :class:`SharedRef` for the contract.
         """
         raise NotImplementedError
 
@@ -89,7 +155,13 @@ class SerialExecutor(BaseExecutor):
     ) -> List[RunResult]:
         return [program.run(config, program_input) for config, program_input in tasks]
 
-    def run_calls(self, calls: Sequence[CallTask]) -> List[Any]:
+    def run_calls(
+        self,
+        calls: Sequence[CallTask],
+        shared: Optional[Dict[str, Any]] = None,
+    ) -> List[Any]:
+        if shared:
+            calls = [_substitute_shared(call, shared) for call in calls]
         return [_invoke_call(call) for call in calls]
 
 
@@ -125,7 +197,15 @@ class ThreadExecutor(BaseExecutor):
         ]
         return [future.result() for future in futures]
 
-    def run_calls(self, calls: Sequence[CallTask]) -> List[Any]:
+    def run_calls(
+        self,
+        calls: Sequence[CallTask],
+        shared: Optional[Dict[str, Any]] = None,
+    ) -> List[Any]:
+        # Threads share the parent's memory, so refs resolve locally (no
+        # registry hand-off) before the calls are submitted.
+        if shared:
+            calls = [_substitute_shared(call, shared) for call in calls]
         if len(calls) <= 1:
             return SerialExecutor().run_calls(calls)
         pool = self._ensure_pool()
@@ -143,15 +223,23 @@ class ThreadExecutor(BaseExecutor):
 
 # -- process-pool plumbing ----------------------------------------------
 #
-# The worker receives the program once via the pool initializer and keeps it
-# in a module global; tasks then only carry (configuration, input).
+# The worker receives the program and the shared-argument registry once via
+# the pool initializer and keeps them in module globals; tasks then only
+# carry (configuration, input) or (fn, args-with-refs, kwargs).
 
 _WORKER_PROGRAM: Optional[PetaBricksProgram] = None
 
+#: Shared-argument registry installed by the pool initializer; parent-side
+#: executors substitute refs before invoking, so this stays empty there.
+_WORKER_SHARED: Dict[str, Any] = {}
 
-def _process_worker_init(program: PetaBricksProgram) -> None:
-    global _WORKER_PROGRAM
+
+def _process_worker_init(
+    program: Optional[PetaBricksProgram], shared: Optional[Dict[str, Any]] = None
+) -> None:
+    global _WORKER_PROGRAM, _WORKER_SHARED
     _WORKER_PROGRAM = program
+    _WORKER_SHARED = shared or {}
 
 
 def _process_worker_run(task: Task) -> RunResult:
@@ -179,6 +267,23 @@ class ProcessExecutor(BaseExecutor):
         self.fallback_reason: Optional[str] = None
         self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
         self._pool_program: Optional[PetaBricksProgram] = None
+        #: Shared-argument registry the live pool's workers were initialized
+        #: with.  Holding the real objects (not just ids) keeps them alive,
+        #: so identity comparisons against new batches stay meaningful.
+        self._pool_shared: Dict[str, Any] = {}
+
+    def _rebuild_pool(
+        self, program: Optional[PetaBricksProgram], shared: Dict[str, Any]
+    ) -> concurrent.futures.ProcessPoolExecutor:
+        self._shutdown_pool()
+        self._pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_process_worker_init,
+            initargs=(program, shared),
+        )
+        self._pool_program = program
+        self._pool_shared = shared
+        return self._pool
 
     def _pool_for(
         self, program: PetaBricksProgram
@@ -191,32 +296,39 @@ class ProcessExecutor(BaseExecutor):
         except Exception as error:
             self.fallback_reason = f"program not picklable: {type(error).__name__}"
             return None
-        self._shutdown_pool()
-        self._pool = concurrent.futures.ProcessPoolExecutor(
-            max_workers=self.workers,
-            initializer=_process_worker_init,
-            initargs=(program,),
-        )
-        self._pool_program = program
-        return self._pool
+        # A program switch means a new experiment; the old shared registry
+        # is dead weight, so the new pool starts with an empty one.
+        return self._rebuild_pool(program, {})
 
-    def _any_pool(self) -> concurrent.futures.ProcessPoolExecutor:
-        """Any live pool (generic calls do not care about the initializer).
+    def _calls_pool(
+        self, shared: Dict[str, Any]
+    ) -> concurrent.futures.ProcessPoolExecutor:
+        """A pool whose workers hold (at least) the requested shared registry.
 
-        Reuses a program-initialized pool when one exists -- the initializer
-        only sets a worker global that generic calls ignore -- and otherwise
-        starts a pool with no initializer at all.
+        A batch with no shared arguments runs on any live pool -- the
+        program initializer only sets worker globals that generic calls
+        ignore.  Otherwise the pool is rebuilt, keeping the current program
+        so an interleaved ``run_batch`` does not pay a second rebuild.
         """
-        if self._pool is None:
-            self._pool = concurrent.futures.ProcessPoolExecutor(
-                max_workers=self.workers
-            )
-            self._pool_program = None
-        return self._pool
+        if self._pool is not None and (not shared or self._shared_matches(shared)):
+            return self._pool
+        return self._rebuild_pool(self._pool_program, shared)
 
-    def run_calls(self, calls: Sequence[CallTask]) -> List[Any]:
+    def _shared_matches(self, shared: Dict[str, Any]) -> bool:
+        current = self._pool_shared
+        return all(
+            token in current and current[token] is value
+            for token, value in shared.items()
+        )
+
+    def run_calls(
+        self,
+        calls: Sequence[CallTask],
+        shared: Optional[Dict[str, Any]] = None,
+    ) -> List[Any]:
         if not calls:
             return []
+        shared = shared or {}
         # The probe is the primary fallback detector: batches are homogeneous
         # in practice, so an unpicklable first call (a closure factory, say)
         # means the batch belongs on the serial path.  Errors raised *by* a
@@ -226,22 +338,35 @@ class ProcessExecutor(BaseExecutor):
             pickle.dumps(calls[0])
         except Exception as error:
             self.fallback_reason = f"call not picklable: {type(error).__name__}"
-            return SerialExecutor().run_calls(calls)
-        pool = self._any_pool()
+            return SerialExecutor().run_calls(calls, shared=shared)
+        pool = self._calls_pool(shared)
         # Chunking matters beyond message overhead: a chunk is pickled as one
-        # object, so large arguments shared by its calls (e.g. the dataset
-        # every Level-2 candidate task carries) cross the process boundary
-        # once per chunk instead of once per call, via the pickle memo.
-        chunksize = max(1, len(calls) // (self.workers * 4))
+        # object, so large per-chunk arguments shared by its calls cross the
+        # process boundary once per chunk instead of once per call, via the
+        # pickle memo.  (Registry-shared arguments do even better: they ride
+        # the pool initializer and cross once per pool.)
+        chunksize = _call_chunksize(len(calls), self.workers)
         try:
-            return list(pool.map(_invoke_call, calls, chunksize=chunksize))
+            # Submission is eager: worker spawn (which, under a spawn start
+            # method, pickles the initializer's program/shared registry)
+            # happens here, so transport errors raised at this point are
+            # never a task's own exception...
+            result_iterator = pool.map(_invoke_call, calls, chunksize=chunksize)
+        except (pickle.PicklingError, TypeError, AttributeError) as error:
+            self.fallback_reason = f"call batch not picklable: {type(error).__name__}"
+            return SerialExecutor().run_calls(calls, shared=shared)
+        try:
+            # ...whereas during result iteration only a genuine
+            # PicklingError is transport: a task-raised TypeError must
+            # propagate as-is, not trigger a misleading serial re-run.
+            return list(result_iterator)
         except pickle.PicklingError as error:
             self.fallback_reason = f"call batch not picklable: {type(error).__name__}"
-            return SerialExecutor().run_calls(calls)
+            return SerialExecutor().run_calls(calls, shared=shared)
         except concurrent.futures.process.BrokenProcessPool as error:
             self.fallback_reason = f"process pool broke: {error}"
             self._shutdown_pool()
-            return SerialExecutor().run_calls(calls)
+            return SerialExecutor().run_calls(calls, shared=shared)
 
     def run_batch(
         self, program: PetaBricksProgram, tasks: Sequence[Task]
@@ -271,6 +396,7 @@ class ProcessExecutor(BaseExecutor):
             self._pool.shutdown(wait=True)
             self._pool = None
             self._pool_program = None
+            self._pool_shared = {}
 
     def close(self) -> None:
         self._shutdown_pool()

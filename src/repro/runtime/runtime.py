@@ -17,7 +17,8 @@ drivers construct caching/parallel runtimes explicitly (see
 from __future__ import annotations
 
 import contextlib
-from typing import Any, Dict, List, Optional, Sequence
+import itertools
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
 
 import numpy as np
 
@@ -50,6 +51,13 @@ class Runtime:
         task_cache: memo for generalized task results (see
             :meth:`run_tasks`).  When omitted, one is created whenever a run
             cache is present, so a caching runtime also memoizes keyed tasks.
+        batch_chunk: streaming chunk size.  ``None`` (default) keeps the
+            legacy all-at-once batches; a positive value makes
+            :meth:`run_pairs` / :meth:`run_tasks` / :meth:`measure` process
+            batches in chunks of at most this many items, bounding peak
+            memory by O(chunk) instead of O(batch) while producing
+            bit-identical results (chunks preserve enumeration order, and
+            chunk-local cache fills stand in for whole-batch deduplication).
     """
 
     #: Default entry cap for the auto-created task cache; task results
@@ -63,13 +71,17 @@ class Runtime:
         cache: Optional[RunCache] = None,
         telemetry: Optional[Telemetry] = None,
         task_cache: Optional[TaskCache] = None,
+        batch_chunk: Optional[int] = None,
     ) -> None:
+        if batch_chunk is not None and batch_chunk < 1:
+            raise ValueError("batch_chunk must be >= 1 or None")
         self.executor = executor if executor is not None else SerialExecutor()
         self.cache = cache
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         if task_cache is None and cache is not None:
             task_cache = TaskCache(max_entries=self.TASK_CACHE_ENTRIES)
         self.task_cache = task_cache
+        self.batch_chunk = batch_chunk
 
     @classmethod
     def create(
@@ -79,21 +91,28 @@ class Runtime:
         use_cache: bool = True,
         max_entries: Optional[int] = 200_000,
         cache_path: Optional[str] = None,
+        batch_chunk: Optional[int] = None,
     ) -> "Runtime":
         """Build a runtime from flag-style settings.
 
         When ``cache_path`` is given, previously persisted measurements are
-        loaded immediately (missing files are fine); call :meth:`save_cache`
+        attached immediately (missing stores are fine; a legacy single-file
+        cache is migrated to the sharded layout); call :meth:`save_cache`
         after a run to persist the updated cache.  ``use_cache=False``
-        disables caching outright -- including any persisted file -- so
-        every measurement demonstrably re-executes.
+        disables caching outright -- including any persisted store -- so
+        every measurement demonstrably re-executes.  ``batch_chunk`` enables
+        streaming batches (see the class docstring).
         """
         cache: Optional[RunCache] = None
         if use_cache:
             cache = RunCache(max_entries=max_entries, persist_path=cache_path)
             if cache_path:
                 cache.load()
-        return cls(executor=get_executor(executor, workers=workers), cache=cache)
+        return cls(
+            executor=get_executor(executor, workers=workers),
+            cache=cache,
+            batch_chunk=batch_chunk,
+        )
 
     # -- execution ------------------------------------------------------
 
@@ -129,13 +148,49 @@ class Runtime:
         return stripped
 
     def run_pairs(
-        self, program: PetaBricksProgram, pairs: Sequence[Task]
+        self, program: PetaBricksProgram, pairs: Iterable[Task]
     ) -> List[RunResult]:
         """Execute a batch of (configuration, input) tasks, in order.
 
-        Cache hits are recalled, identical tasks within the batch execute
-        once, and the remaining misses go through the executor as one batch.
+        Cache hits are recalled, identical tasks within a dispatch execute
+        once, and the remaining misses go through the executor.  With
+        :attr:`batch_chunk` set the batch is dispatched in content-ordered
+        chunks (see :meth:`iter_pairs`); results are identical either way.
         """
+        return list(self.iter_pairs(program, pairs))
+
+    def iter_pairs(
+        self, program: PetaBricksProgram, pairs: Iterable[Task]
+    ) -> Iterator[RunResult]:
+        """Stream results for a batch of (configuration, input) tasks, in order.
+
+        The streaming core of :meth:`run_pairs` and :meth:`measure`: with
+        :attr:`batch_chunk` set, ``pairs`` is consumed lazily in chunks of at
+        most that many tasks -- each chunk is cache-checked, dispatched, and
+        folded into the cache before the next chunk is even built -- so a
+        50k x K1 measurement matrix never exists as one in-memory task list.
+        Without a chunk size the whole batch is dispatched at once (legacy
+        behaviour).  Enumeration order, and therefore every yielded result,
+        is bit-identical in both modes: duplicates that whole-batch dispatch
+        would deduplicate in-batch are instead answered by the cache entries
+        the earlier chunk just filled.
+        """
+        chunk = self.batch_chunk
+        if not chunk:
+            materialized = pairs if isinstance(pairs, Sequence) else list(pairs)
+            yield from self._dispatch_pairs(program, materialized)
+            return
+        iterator = iter(pairs)
+        while True:
+            piece = list(itertools.islice(iterator, chunk))
+            if not piece:
+                return
+            yield from self._dispatch_pairs(program, piece)
+
+    def _dispatch_pairs(
+        self, program: PetaBricksProgram, pairs: Sequence[Task]
+    ) -> List[RunResult]:
+        """Cache-check and execute one dispatch unit (a whole batch or chunk)."""
         self.telemetry.count("runs_requested", len(pairs))
         if self.cache is None:
             results = self.executor.run_batch(program, pairs)
@@ -194,34 +249,52 @@ class Runtime:
     # -- generalized tasks ----------------------------------------------
 
     def run_tasks(
-        self, specs: Sequence[TaskSpec], phase: Optional[str] = None
+        self,
+        specs: Sequence[TaskSpec],
+        phase: Optional[str] = None,
+        shared: Optional[Dict[str, Any]] = None,
     ) -> List[Any]:
         """Execute a batch of arbitrary content-keyed tasks, in order.
 
         The generalized counterpart of :meth:`run_pairs`: keyed tasks are
-        recalled from the task cache, identical keys within the batch
+        recalled from the task cache, identical keys within a dispatch
         execute once, and the remaining work fans out over the executor.
         Results always come back in submission order, so callers see the
         exact sequence the equivalent serial loop would have produced --
         this is what keeps parallel searches (e.g. Level 2's classifier
         zoo) deterministic: candidates are compared in enumeration order,
-        a key independent of completion order.
+        a key independent of completion order.  With :attr:`batch_chunk`
+        set, the batch is dispatched chunk by chunk; duplicate keys across
+        chunks are answered by the task-cache entries earlier chunks
+        filled, so results stay identical to whole-batch dispatch.
 
         Args:
             specs: the tasks.  Tasks must be pure functions of their
                 arguments; specs with ``key=None`` always execute.
             phase: optional telemetry phase name timing this batch.
+            shared: mapping of :class:`repro.runtime.SharedRef` tokens to
+                the large objects the task arguments reference; shipped to
+                process-pool workers once per pool instead of being
+                re-pickled with every chunk.
         """
         scope = self.telemetry.phase(phase) if phase else contextlib.nullcontext()
         with scope:
-            return self._run_tasks(specs)
+            chunk = self.batch_chunk
+            if not chunk or len(specs) <= chunk:
+                return self._run_tasks(specs, shared)
+            results: List[Any] = []
+            for start in range(0, len(specs), chunk):
+                results.extend(self._run_tasks(specs[start : start + chunk], shared))
+            return results
 
-    def _run_tasks(self, specs: Sequence[TaskSpec]) -> List[Any]:
+    def _run_tasks(
+        self, specs: Sequence[TaskSpec], shared: Optional[Dict[str, Any]] = None
+    ) -> List[Any]:
         self.telemetry.count("tasks_requested", len(specs))
         if self.task_cache is None:
             calls: List[CallTask] = [(s.fn, s.args, s.kwargs) for s in specs]
             self.telemetry.count("tasks_executed", len(specs))
-            return self.executor.run_calls(calls)
+            return self.executor.run_calls(calls, shared=shared)
 
         results: List[Any] = [None] * len(specs)
         #: key -> slot of the first miss with that key (for in-batch dedup).
@@ -250,7 +323,7 @@ class Runtime:
             miss_slots.append(slot)
 
         if miss_calls:
-            executed = self.executor.run_calls(miss_calls)
+            executed = self.executor.run_calls(miss_calls, shared=shared)
             self.telemetry.count("tasks_executed", len(miss_calls))
             for slot, value in zip(miss_slots, executed):
                 results[slot] = value
@@ -271,15 +344,19 @@ class Runtime:
         Returns ``{"times": (n, k), "accuracies": (n, k)}`` with input rows
         and configuration columns, matching
         :func:`repro.core.level1.measure_performance`.
+
+        The pair enumeration is lazy and each result folds straight into
+        the output arrays, so with :attr:`batch_chunk` set the transient
+        footprint is one chunk of tasks/results -- the matrix itself (two
+        ``(n, k)`` float arrays) is the only O(N x K) allocation.
         """
         n, k = len(inputs), len(configs)
-        pairs: List[Task] = [
+        pairs = (
             (config, program_input) for config in configs for program_input in inputs
-        ]
-        results = self.run_pairs(program, pairs)
+        )
         times = np.zeros((n, k))
         accuracies = np.zeros((n, k))
-        for flat, result in enumerate(results):
+        for flat, result in enumerate(self.iter_pairs(program, pairs)):
             j, i = divmod(flat, n)
             times[i, j] = result.time
             accuracies[i, j] = result.accuracy

@@ -15,6 +15,14 @@ never persisted to JSON); unkeyed tasks always execute.  Tasks must be
 pure functions of their arguments for either the cache or a parallel
 executor to be sound -- the same contract program runs already obey.
 
+A large argument shared by every task in a batch (the Level-2 dataset,
+say) should not be embedded in each spec directly: pass a
+:class:`repro.runtime.SharedRef` placeholder in ``args`` and hand the real
+object to :meth:`repro.runtime.Runtime.run_tasks` via its ``shared``
+mapping.  Executors substitute the object at invocation time, and the
+process pool ships it to workers once per pool through the initializer
+registry instead of re-pickling it with every chunk.
+
 Results are always returned in *submission order* regardless of which
 executor carried the work or in what order tasks completed, so a batch of
 tasks behaves exactly like the serial loop it replaces.

@@ -1,17 +1,24 @@
-"""Tests for the content-keyed run cache."""
+"""Tests for the content-keyed run cache and its sharded on-disk store."""
 
+import glob
 import json
+import os
 
 import numpy as np
 import pytest
 
 from repro.lang.program import RunResult
 from repro.runtime import RunCache
-from repro.runtime.cache import _FORMAT_VERSION
+from repro.runtime.cache import _FORMAT_VERSION, _META_NAME, _SHARDS_DIR, _shard_of
 
 
 def result(time=1.0, accuracy=1.0, output=None, extra=None):
     return RunResult(output=output, time=time, accuracy=accuracy, extra=extra or {})
+
+
+def shard_files(store):
+    """All shard files of a sharded store, sorted."""
+    return sorted(glob.glob(os.path.join(str(store), _SHARDS_DIR, "*.json")))
 
 
 class TestInMemory:
@@ -97,19 +104,21 @@ class TestPersistence:
         assert len(cache) == 0
 
     def test_load_tolerates_corrupt_file(self, tmp_path):
-        """A bad cache file degrades to a cold start, never a crash."""
+        """A bad cache file degrades to a cold start (with a warning), never a crash."""
         path = tmp_path / "cache.json"
         for garbage in ("not json{{", "[1, 2, 3]", '{"version": 1, "entries": {"k": {}}}'):
             path.write_text(garbage)
             cache = RunCache(persist_path=str(path))
-            assert cache.load() == 0
+            with pytest.warns(UserWarning, match="corrupt or incompatible"):
+                assert cache.load() == 0
 
     def test_load_rejects_unknown_version(self, tmp_path):
         path = tmp_path / "cache.json"
         path.write_text('{"version": %d, "entries": {"k": {"time": 1, "accuracy": 1}}}'
                         % (_FORMAT_VERSION + 1))
         cache = RunCache(persist_path=str(path))
-        assert cache.load() == 0
+        with pytest.warns(UserWarning, match="corrupt or incompatible"):
+            assert cache.load() == 0
 
     def test_json_unsafe_extras_dropped(self, tmp_path):
         path = str(tmp_path / "cache.json")
@@ -147,14 +156,18 @@ class TestNonUtf8Keys:
         assert fresh.get(self.SURROGATE_KEY).time == 3.0
         assert fresh.get("plain:key").time == 4.0
 
-    def test_persisted_file_is_valid_utf8_json(self, tmp_path):
+    def test_persisted_shards_are_valid_utf8_json(self, tmp_path):
         path = tmp_path / "cache.json"
         cache = RunCache(persist_path=str(path))
         cache.put(self.SURROGATE_KEY, result(), has_output=False)
         cache.save()
-        raw = path.read_bytes()
-        payload = json.loads(raw.decode("utf-8"))  # strict decode must succeed
-        assert list(payload["entries"]) != [self.SURROGATE_KEY]
+        shards = shard_files(path)
+        assert shards
+        for shard in shards:
+            with open(shard, "rb") as handle:
+                raw = handle.read()
+            payload = json.loads(raw.decode("utf-8"))  # strict decode must succeed
+            assert self.SURROGATE_KEY not in payload["entries"]
 
     def test_key_colliding_with_escape_prefix_round_trips(self, tmp_path):
         from repro.runtime.cache import _ESCAPED_KEY_PREFIX
@@ -182,3 +195,218 @@ class TestNonUtf8Keys:
         fresh = RunCache(persist_path=path)
         assert fresh.load() == 1
         assert fresh.get("k").extra == {"ok": 1}
+
+
+def populated_store(path, n=64):
+    """Save ``n`` entries spread over many shards; returns their keys."""
+    cache = RunCache(persist_path=str(path))
+    keys = [f"prog:{i:04d}" for i in range(n)]
+    for i, key in enumerate(keys):
+        cache.put(key, result(time=float(i)), has_output=False)
+    cache.save()
+    return keys
+
+
+class TestShardedStore:
+    """The sharded persistence backend (layout, laziness, incremental saves)."""
+
+    def test_store_layout(self, tmp_path):
+        store = tmp_path / "cache"
+        populated_store(store)
+        assert os.path.isdir(store)
+        assert os.path.isfile(store / _META_NAME)
+        shards = shard_files(store)
+        assert len(shards) > 1  # 64 keys spread over >1 hash prefix
+        meta = json.loads((store / _META_NAME).read_text())
+        assert sum(meta["shards"].values()) == 64
+
+    def test_keys_land_in_their_hashed_shard(self, tmp_path):
+        store = tmp_path / "cache"
+        keys = populated_store(store, n=8)
+        for key in keys:
+            shard = store / _SHARDS_DIR / f"{_shard_of(key)}.json"
+            payload = json.loads(shard.read_text())
+            assert key in payload["entries"]
+
+    def test_load_is_lazy_per_shard(self, tmp_path):
+        store = tmp_path / "cache"
+        keys = populated_store(store)
+        fresh = RunCache(persist_path=str(store))
+        assert fresh.load() == 64  # manifest count, no shard reads yet
+        assert len(fresh) == 0
+        hit = fresh.get(keys[0])
+        assert hit is not None and hit.time == 0.0
+        # Only the one faulted shard is resident, not the whole store.
+        assert 0 < len(fresh) < 64
+        assert fresh.stats()["shards_loaded"] == 1
+        for key in keys:
+            assert fresh.get(key) is not None
+        assert len(fresh) == 64
+
+    def test_incremental_save_touches_only_dirty_shards(self, tmp_path):
+        store = tmp_path / "cache"
+        populated_store(store)
+        mtimes = {p: os.stat(p).st_mtime_ns for p in shard_files(store)}
+
+        cache = RunCache(persist_path=str(store))
+        cache.load()
+        cache.put("new:key", result(time=99.0), has_output=False)
+        cache.save()
+
+        expected_dirty = os.path.join(
+            str(store), _SHARDS_DIR, f"{_shard_of('new:key')}.json"
+        )
+        for path in shard_files(store):
+            if path == expected_dirty:
+                assert os.stat(path).st_mtime_ns != mtimes.get(path)
+            else:
+                assert os.stat(path).st_mtime_ns == mtimes[path]
+
+    def test_save_merges_with_entries_evicted_from_memory(self, tmp_path):
+        store = tmp_path / "cache"
+        cache = RunCache(max_entries=2, persist_path=str(store))
+        cache.put("a", result(time=1.0), has_output=False)
+        cache.put("b", result(time=2.0), has_output=False)
+        cache.save()
+        # Overflow the LRU so "a"/"b" may be evicted, then save again: the
+        # disk copies must survive the rewrite of their (dirty) shards.
+        cache.put("c", result(time=3.0), has_output=False)
+        cache.put("d", result(time=4.0), has_output=False)
+        cache.save()
+        fresh = RunCache(persist_path=str(store))
+        fresh.load()
+        for key, value in (("a", 1.0), ("b", 2.0), ("c", 3.0), ("d", 4.0)):
+            assert fresh.get(key).time == value
+
+    def test_concurrent_saves_to_same_store_union(self, tmp_path):
+        """Two caches persisting to one store must not clobber each other."""
+        store = tmp_path / "cache"
+        first = RunCache(persist_path=str(store))
+        second = RunCache(persist_path=str(store))
+        for i in range(16):
+            first.put(f"first:{i}", result(time=float(i)), has_output=False)
+            second.put(f"second:{i}", result(time=float(100 + i)), has_output=False)
+        first.save()
+        second.save()  # merges with first's shards instead of replacing them
+        fresh = RunCache(persist_path=str(store))
+        fresh.load()
+        for i in range(16):
+            assert fresh.get(f"first:{i}").time == float(i)
+            assert fresh.get(f"second:{i}").time == float(100 + i)
+
+    def test_corrupt_shard_warns_and_degrades(self, tmp_path):
+        store = tmp_path / "cache"
+        keys = populated_store(store)
+        victim_key = keys[0]
+        victim = store / _SHARDS_DIR / f"{_shard_of(victim_key)}.json"
+        victim.write_text("not json{{")
+        fresh = RunCache(persist_path=str(store))
+        fresh.load()
+        with pytest.warns(UserWarning, match="corrupt"):
+            assert fresh.get(victim_key) is None  # that shard is a cold start
+        # Other shards are unaffected.
+        survivor = next(k for k in keys if _shard_of(k) != _shard_of(victim_key))
+        assert fresh.get(survivor) is not None
+
+    def test_fault_in_survives_tight_lru_cap(self, tmp_path):
+        """The looked-up key must win the LRU race against its own shard.
+
+        The lookup that faults a shard in must succeed even when the shard
+        holds more entries than the whole cache may retain -- the requested
+        key is inserted last, so the rest of the shard cannot evict it
+        mid-load.  (Later lookups into an already-seen shard may honestly
+        miss under such a tiny cap; a miss only costs re-execution.)
+        """
+        store = tmp_path / "cache"
+        keys = populated_store(store, n=16)
+        for i, key in enumerate(keys):
+            fresh = RunCache(max_entries=2, persist_path=str(store))
+            fresh.load()
+            hit = fresh.get(key)  # first lookup, whatever the shard position
+            assert hit is not None and hit.time == float(i)
+
+    def test_save_elsewhere_includes_faulted_in_entries(self, tmp_path):
+        """Saving to a different store must copy lazily loaded entries too."""
+        origin = tmp_path / "origin"
+        keys = populated_store(origin, n=16)
+        cache = RunCache(persist_path=str(origin))
+        cache.load()
+        for key in keys:  # fault everything in (not dirty: already on disk)
+            cache.get(key)
+        other = tmp_path / "copy"
+        assert cache.save(str(other)) == 16
+        fresh = RunCache(persist_path=str(other))
+        assert fresh.load() == 16
+        assert fresh.get(keys[0]) is not None
+
+    def test_missing_manifest_rescans_shards(self, tmp_path):
+        store = tmp_path / "cache"
+        populated_store(store)
+        os.unlink(store / _META_NAME)
+        fresh = RunCache(persist_path=str(store))
+        with pytest.warns(UserWarning, match="manifest"):
+            assert fresh.load() == 64
+        assert fresh.get("prog:0000").time == 0.0
+        # The rescan rebuilt the manifest for the next (lazy) load.
+        lazy = RunCache(persist_path=str(store))
+        assert lazy.load() == 64
+        assert len(lazy) == 0
+
+
+class TestLegacyMigration:
+    """One-shot migration of the single-file JSON cache to the sharded store."""
+
+    def legacy_file(self, path, entries):
+        payload = {
+            "version": _FORMAT_VERSION,
+            "entries": {
+                key: {"time": time, "accuracy": 1.0} for key, time in entries.items()
+            },
+        }
+        path.write_text(json.dumps(payload))
+
+    def test_legacy_file_loads_and_migrates_in_place(self, tmp_path):
+        path = tmp_path / "cache.json"
+        self.legacy_file(path, {"a": 1.0, "b": 2.0, "c": 3.0})
+        cache = RunCache(persist_path=str(path))
+        assert cache.load() == 3
+        assert cache.get("a").time == 1.0
+        # The file has become a sharded store directory at the same path.
+        assert os.path.isdir(path)
+        assert os.path.isfile(path / _META_NAME)
+        fresh = RunCache(persist_path=str(path))
+        assert fresh.load() == 3
+        assert fresh.get("b").time == 2.0
+
+    def test_migrated_store_keeps_accepting_saves(self, tmp_path):
+        path = tmp_path / "cache.json"
+        self.legacy_file(path, {"a": 1.0})
+        cache = RunCache(persist_path=str(path))
+        cache.load()
+        cache.put("new", result(time=9.0), has_output=False)
+        cache.save()
+        fresh = RunCache(persist_path=str(path))
+        assert fresh.load() == 2
+        assert fresh.get("a").time == 1.0
+        assert fresh.get("new").time == 9.0
+
+    def test_migration_failure_still_loads_entries(self, tmp_path, monkeypatch):
+        path = tmp_path / "cache.json"
+        self.legacy_file(path, {"a": 1.0, "b": 2.0})
+
+        def broken_rename(*_args, **_kwargs):
+            raise OSError("disk on fire")
+
+        monkeypatch.setattr(os, "rename", broken_rename)
+        cache = RunCache(persist_path=str(path))
+        with pytest.warns(UserWarning, match="could not migrate"):
+            assert cache.load() == 2
+        assert cache.get("a").time == 1.0  # entries usable despite migration failing
+        assert os.path.isfile(path)  # legacy file left untouched
+        # A later save() must degrade gracefully too -- the store path is
+        # still occupied by the legacy file -- not crash the run or clobber
+        # the file with a directory.
+        cache.put("fresh", result(time=5.0), has_output=False)
+        with pytest.warns(UserWarning, match="is a file"):
+            assert cache.save() == 0
+        assert os.path.isfile(path)

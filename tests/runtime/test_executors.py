@@ -10,9 +10,11 @@ from repro.lang.program import PetaBricksProgram
 from repro.runtime import (
     ProcessExecutor,
     SerialExecutor,
+    SharedRef,
     ThreadExecutor,
     get_executor,
 )
+from repro.runtime.executors import _call_chunksize
 
 
 @pytest.fixture(scope="module")
@@ -111,6 +113,106 @@ class TestProcessExecutor:
             pool = executor._pool
             executor.run_batch(program, tasks[3:6])
             assert executor._pool is pool
+
+
+def _scaled_sum(values, factor):
+    """Module-level so process pools can pickle it."""
+    return float(sum(values)) * factor
+
+
+class TestSharedArgs:
+    """SharedRef arguments resolve identically on every executor."""
+
+    PAYLOAD = list(range(100))
+    CALLS = [
+        (_scaled_sum, (SharedRef("payload"), float(factor)), {})
+        for factor in range(1, 6)
+    ]
+    EXPECTED = [float(sum(range(100))) * f for f in range(1, 6)]
+
+    def test_serial_resolves_refs(self):
+        shared = {"payload": self.PAYLOAD}
+        assert SerialExecutor().run_calls(self.CALLS, shared=shared) == self.EXPECTED
+
+    def test_thread_resolves_refs(self):
+        shared = {"payload": self.PAYLOAD}
+        with ThreadExecutor(workers=2) as executor:
+            assert executor.run_calls(self.CALLS, shared=shared) == self.EXPECTED
+
+    def test_process_resolves_refs_via_pool_registry(self):
+        shared = {"payload": self.PAYLOAD}
+        with ProcessExecutor(workers=2) as executor:
+            assert executor.run_calls(self.CALLS, shared=shared) == self.EXPECTED
+            assert executor.fallback_reason is None
+
+    def test_process_pool_reused_for_same_shared_object(self):
+        shared = {"payload": self.PAYLOAD}
+        with ProcessExecutor(workers=2) as executor:
+            executor.run_calls(self.CALLS, shared=shared)
+            pool = executor._pool
+            executor.run_calls(self.CALLS, shared=shared)
+            assert executor._pool is pool  # same object -> no reinitialization
+            # A different object under the same token must NOT reuse the
+            # stale registry.
+            executor.run_calls(
+                [(_scaled_sum, (SharedRef("payload"), 1.0), {})],
+                shared={"payload": list(range(10))},
+            )
+            assert executor._pool is not pool
+
+    def test_kwarg_refs_resolve_too(self):
+        def _kw(factor, values=None):
+            return float(sum(values)) * factor
+
+        calls = [(_kw, (2.0,), {"values": SharedRef("payload")})]
+        assert SerialExecutor().run_calls(calls, shared={"payload": [1, 2, 3]}) == [12.0]
+
+    def test_kwarg_refs_resolve_in_workers(self):
+        calls = [(_scaled_kwargs, (2.0,), {"values": SharedRef("payload")})]
+        with ProcessExecutor(workers=2) as executor:
+            assert executor.run_calls(calls, shared={"payload": [1, 2, 3]}) == [12.0]
+            assert executor.fallback_reason is None
+
+
+def _scaled_kwargs(factor, values=None):
+    """Module-level so process pools can pickle it."""
+    return float(sum(values)) * factor
+
+
+class TestCallChunksize:
+    """The pool.map chunk-size heuristic (satellite fix).
+
+    Small batches used to degenerate to chunksize 1 -- one pickled message
+    per call, re-shipping each chunk's shared content call by call.  Now a
+    small batch targets one chunk per worker and a large batch four.
+    """
+
+    def test_small_batch_floors_at_one_chunk_per_worker(self):
+        # 8 calls on 4 workers: previously chunksize 1 (8 chunks); now 2.
+        assert _call_chunksize(8, 4) == 2
+        # 20 calls on 8 workers: previously 1 (20 chunks); now 3 (7 chunks).
+        assert _call_chunksize(20, 8) == 3
+
+    def test_large_batch_targets_four_chunks_per_worker(self):
+        assert _call_chunksize(1000, 4) == 63  # ceil(1000 / 16)
+        assert _call_chunksize(65, 4) == 5  # just past the boundary
+
+    def test_boundary_batch_does_not_degenerate(self):
+        # Exactly workers * 4 calls must take the small-batch floor, not
+        # fall through to chunksize 1.
+        assert _call_chunksize(32, 8) == 4
+        assert _call_chunksize(16, 4) == 4
+
+    def test_degenerate_sizes(self):
+        assert _call_chunksize(0, 4) == 1
+        assert _call_chunksize(1, 4) == 1
+        assert _call_chunksize(3, 8) == 1  # fewer calls than workers
+
+    def test_never_exceeds_batch(self):
+        for n_calls in range(1, 70):
+            for workers in (1, 2, 4, 8):
+                size = _call_chunksize(n_calls, workers)
+                assert 1 <= size <= n_calls
 
 
 class TestGetExecutor:

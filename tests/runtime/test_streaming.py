@@ -1,0 +1,162 @@
+"""Streaming (chunked) batch dispatch: determinism and memory shape.
+
+The acceptance bar for the 50k-input-regime work: setting
+``Runtime.batch_chunk`` (or ``ExperimentConfig.batch_chunk`` /
+``--batch-chunk``) must change *nothing* about the results -- the full
+experiment pipeline and the Level-2 search are bit-identical with and
+without chunking, under every executor -- while bounding the transient
+footprint of a measurement batch by O(chunk).
+"""
+
+import numpy as np
+import pytest
+
+from repro.benchmarks_suite import get_benchmark
+from repro.core.level2 import Level2Config, run_level2
+from repro.core.synthetic import synthetic_level2_dataset
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.runtime import RunCache, Runtime
+
+METHODS = ("static_oracle", "dynamic_oracle", "two_level", "one_level")
+
+
+def tiny_config(executor: str, **overrides) -> ExperimentConfig:
+    settings = dict(
+        n_inputs=24,
+        n_clusters=3,
+        tuner_generations=2,
+        tuner_population=5,
+        tuning_neighbors=2,
+        max_subsets=12,
+        seed=0,
+        executor=executor,
+        workers=2,
+        batch_chunk=None,
+    )
+    settings.update(overrides)
+    return ExperimentConfig(**settings)
+
+
+@pytest.fixture(scope="module")
+def unchunked_result():
+    return run_experiment("sort1", tiny_config("serial"))
+
+
+class TestExperimentStreamingDeterminism:
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_chunked_run_is_bit_identical(self, unchunked_result, executor):
+        """batch_chunk=7 (deliberately not dividing anything evenly)."""
+        result = run_experiment("sort1", tiny_config(executor, batch_chunk=7))
+        assert result.runtime_stats["executor"] == executor
+        assert "executor_fallback" not in result.runtime_stats
+        for method in METHODS:
+            np.testing.assert_array_equal(
+                result.methods[method].times, unchunked_result.methods[method].times
+            )
+            np.testing.assert_array_equal(
+                result.speedups_over_static(method),
+                unchunked_result.speedups_over_static(method),
+            )
+            assert result.satisfaction(method) == unchunked_result.satisfaction(method)
+        assert result.training.landmarks == unchunked_result.training.landmarks
+
+    def test_chunk_of_one_is_bit_identical(self, unchunked_result):
+        """The degenerate chunk size exercises every chunk boundary."""
+        result = run_experiment("sort1", tiny_config("serial", batch_chunk=1))
+        for method in METHODS:
+            np.testing.assert_array_equal(
+                result.methods[method].times, unchunked_result.methods[method].times
+            )
+
+    def test_telemetry_totals_match_unchunked(self, unchunked_result):
+        result = run_experiment("sort1", tiny_config("serial", batch_chunk=5))
+        for counter in ("runs_requested", "runs_executed", "tasks_requested"):
+            assert (
+                result.runtime_stats["telemetry"]["counters"][counter]
+                == unchunked_result.runtime_stats["telemetry"]["counters"][counter]
+            )
+
+
+class TestLevel2StreamingDeterminism:
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_chunked_search_selects_identical_production(self, executor):
+        dataset = synthetic_level2_dataset(n=40, seed=3)
+        rows = np.arange(40)
+        train_rows, test_rows = rows[:28], rows[28:]
+        config = Level2Config(max_subsets=12, seed=0)
+
+        baseline = run_level2(dataset, train_rows, test_rows, config=config)
+        with Runtime.create(executor=executor, workers=2, batch_chunk=3) as runtime:
+            chunked = run_level2(
+                dataset, train_rows, test_rows, config=config, runtime=runtime
+            )
+        assert (
+            chunked.production.classifier.name == baseline.production.classifier.name
+        )
+        assert chunked.production.performance_cost == baseline.production.performance_cost
+        assert [e.performance_cost for e in chunked.evaluations] == [
+            e.performance_cost for e in baseline.evaluations
+        ]
+        np.testing.assert_array_equal(chunked.labels, baseline.labels)
+
+
+class TestIterPairsStreaming:
+    def make_program(self):
+        variant = get_benchmark("sort1")
+        return variant, variant.benchmark.program
+
+    def test_iter_pairs_consumes_lazily(self):
+        """The pair iterator is drained chunk by chunk, never materialized."""
+        variant, program = self.make_program()
+        inputs = variant.benchmark.generate_inputs(8, variant.variant, seed=0)
+        config = program.default_configuration()
+        consumed = []
+
+        def pair_gen():
+            for program_input in inputs:
+                consumed.append(len(consumed))
+                yield (config, program_input)
+
+        runtime = Runtime(batch_chunk=3)
+        iterator = runtime.iter_pairs(program, pair_gen())
+        first = next(iterator)
+        assert first.time > 0
+        # Only the first chunk's pairs have been pulled so far.
+        assert len(consumed) == 3
+        rest = list(iterator)
+        assert len(rest) == 7
+        assert len(consumed) == 8
+
+    def test_measure_identical_with_and_without_chunking(self):
+        variant, program = self.make_program()
+        inputs = variant.benchmark.generate_inputs(10, variant.variant, seed=0)
+        configs = [program.default_configuration()]
+        import random
+
+        rng = random.Random(0)
+        configs += [program.config_space.sample(rng) for _ in range(2)]
+
+        plain = Runtime().measure(program, configs, inputs)
+        chunked = Runtime(batch_chunk=4).measure(program, configs, inputs)
+        cached_chunked = Runtime(cache=RunCache(), batch_chunk=4).measure(
+            program, configs, inputs
+        )
+        np.testing.assert_array_equal(plain["times"], chunked["times"])
+        np.testing.assert_array_equal(plain["accuracies"], chunked["accuracies"])
+        np.testing.assert_array_equal(plain["times"], cached_chunked["times"])
+
+    def test_duplicate_pairs_across_chunks_hit_cache(self):
+        variant, program = self.make_program()
+        inputs = variant.benchmark.generate_inputs(2, variant.variant, seed=0)
+        config = program.default_configuration()
+        runtime = Runtime(cache=RunCache(), batch_chunk=2)
+        # Four copies of the same pair, split across two chunks: the second
+        # chunk must be answered by the cache entries the first chunk filled.
+        results = runtime.run_pairs(program, [(config, inputs[0])] * 4)
+        assert len({r.time for r in results}) == 1
+        assert runtime.telemetry.runs_executed == 1
+        assert runtime.telemetry.cache_hits == 3
+
+    def test_invalid_batch_chunk_rejected(self):
+        with pytest.raises(ValueError):
+            Runtime(batch_chunk=0)
