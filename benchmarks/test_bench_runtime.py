@@ -6,7 +6,12 @@ Records the perf baseline future scale-up PRs are measured against:
 * cold-cache vs. warm-cache wall time and the warm run's cache hit rate,
 * raw executor throughput on one N x K measurement matrix,
 * peak transient memory of a measurement matrix with and without streaming
-  chunks (``Runtime.batch_chunk``).
+  chunks (``Runtime.batch_chunk``),
+* end-to-end peak memory of a whole experiment with streamed inputs + a
+  capped cache vs. the materialized-list path, at two input counts (the
+  streamed peak must stop scaling with N),
+* the in-memory footprint of one run-cache entry (the number behind
+  ``RunCache.DEFAULT_MAX_ENTRIES``).
 
 The warm-cache run must be decisively faster than the cold run (every
 program execution is replaced by a cache lookup); the parallel numbers are
@@ -170,3 +175,115 @@ def test_streaming_peak_memory(benchmark):
             f"streaming peak {chunk_peak} not below half of whole-batch "
             f"peak {full_peak}"
         )
+
+
+def test_streaming_input_peak_memory(benchmark):
+    """End-to-end peak memory: streamed inputs + capped cache vs. O(N) lists.
+
+    Runs the whole experiment (input generation, feature extraction,
+    autotuning, the measurement matrix, Level 2, evaluation) at two input
+    counts, once the legacy way (materialized input list, unbounded cache)
+    and once fully streamed (lazy ``InputSource``, ``batch_chunk``,
+    ``cache_max_entries``).  The streamed run's peak must be decisively
+    below the materialized run's, and -- the point of the input-streaming
+    work -- its *growth* with N must be a fraction of the materialized
+    growth: what remains is the <F, T, A, E> datatable itself, not the
+    input list or the cache.  Results of both paths are bit-identical
+    (``tests/runtime/test_streaming.py`` pins that; this benchmark pins the
+    memory shape).
+    """
+    large = bench_scale() == "large"
+    n_small, n_large = (120, 360) if large else (48, 120)
+
+    def config(n_inputs, streamed):
+        config = experiment_config()
+        config.n_inputs = n_inputs
+        config.n_clusters = 3
+        config.tuner_generations = 2
+        config.tuner_population = 4
+        config.tuning_neighbors = 2
+        config.max_subsets = 8
+        config.executor = "serial"
+        config.stream_inputs = streamed
+        config.batch_chunk = 32 if streamed else None
+        config.cache_max_entries = 256 if streamed else None
+        return config
+
+    # Warm up imports (numpy lazily pulls submodules on first use) so the
+    # traced peaks compare run-scale allocations, not module objects.
+    run_experiment("sort1", config(8, streamed=False))
+
+    def traced_peak(n_inputs, streamed):
+        tracemalloc.start()
+        try:
+            run_experiment("sort1", config(n_inputs, streamed))
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        return peak
+
+    materialized = {n: traced_peak(n, streamed=False) for n in (n_small, n_large)}
+    streamed = {n: traced_peak(n, streamed=True) for n in (n_small, n_large)}
+
+    benchmark.pedantic(
+        run_experiment,
+        args=("sort1", config(n_small, streamed=True)),
+        rounds=1,
+        iterations=1,
+    )
+
+    growth_materialized = materialized[n_large] - materialized[n_small]
+    growth_streamed = streamed[n_large] - streamed[n_small]
+    print(
+        f"\n[runtime:streaming-inputs] n={n_small}->{n_large} "
+        f"materialized={materialized[n_small] / 1e6:.2f}->"
+        f"{materialized[n_large] / 1e6:.2f}MB "
+        f"streamed={streamed[n_small] / 1e6:.2f}->"
+        f"{streamed[n_large] / 1e6:.2f}MB "
+        f"ratio@{n_large}={materialized[n_large] / max(streamed[n_large], 1):.2f}x"
+    )
+    if large:
+        assert streamed[n_large] < materialized[n_large] * 0.65, (
+            f"streamed peak {streamed[n_large]} not decisively below "
+            f"materialized peak {materialized[n_large]}"
+        )
+        assert growth_streamed < growth_materialized * 0.6, (
+            f"streamed peak still scales with N: grew {growth_streamed} vs "
+            f"materialized growth {growth_materialized}"
+        )
+
+
+def test_run_cache_entry_footprint(benchmark):
+    """Traced bytes per in-memory run-cache entry (key + stripped result).
+
+    This is the number ``RunCache.DEFAULT_MAX_ENTRIES`` is derived from:
+    ~450 B/entry means the default 100k-entry cap bounds the in-memory
+    cache near 45 MB.  The assertion is a loose ceiling so a regression
+    that bloats entries (say, accidentally caching outputs) fails loudly.
+    """
+    from repro.lang.program import RunResult
+
+    n = 20_000
+
+    def fill():
+        cache = RunCache()
+        tracemalloc.start()
+        try:
+            for i in range(n):
+                cache.put(
+                    f"prog:{i:016x}:{i:016x}:{i:016x}",
+                    RunResult(output=None, time=float(i), accuracy=1.0),
+                    has_output=False,
+                )
+            current, _ = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        return current / n
+
+    per_entry = benchmark.pedantic(fill, rounds=1, iterations=1)
+    capped_mb = per_entry * RunCache.DEFAULT_MAX_ENTRIES / 1e6
+    print(
+        f"\n[runtime:cache-entry] {per_entry:.0f} B/entry, default cap "
+        f"{RunCache.DEFAULT_MAX_ENTRIES} entries = {capped_mb:.0f} MB"
+    )
+    assert per_entry < 1500, f"run-cache entries ballooned to {per_entry:.0f} B"

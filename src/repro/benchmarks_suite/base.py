@@ -12,12 +12,15 @@ variant factories so drivers can look benchmarks up by string.
 
 Contract for implementations: the program's run function must be a pure
 function of (configuration, input) under the deterministic cost model --
-any internal randomness seeded per run from constants -- and
-``generate_inputs(n, variant, seed)`` must be a pure function of its
-arguments.  Those two properties are what let the measurement runtime
-cache runs by content key, fan batches out over thread/process pools, and
-stream 50k-input measurement matrices chunk by chunk with bit-identical
-results.
+any internal randomness seeded per run from constants -- and input
+generation must be a pure function of its arguments *per index*: input
+``i`` of ``input_source(n, variant, seed)`` depends only on (variant,
+seed, i), never on inputs 0..i-1.  Those properties are what let the
+measurement runtime cache runs by content key, fan batches out over
+thread/process pools, and stream 50k-input experiments chunk by chunk --
+the input list itself included -- with bit-identical results.
+``generate_inputs`` is the materialized (O(N) list) view of the same
+source.
 
 The learning framework and the experiment harness only use this interface,
 so adding a seventh benchmark requires no change outside its subpackage.
@@ -30,6 +33,7 @@ import random
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro.core.inputs import GeneratedInputSource, InputSource, MaterializedInputs
 from repro.lang.program import PetaBricksProgram
 
 
@@ -40,18 +44,36 @@ class InputGenerator:
     Attributes:
         name: generator name (e.g. ``"synthetic"``, ``"real_world"``).
         description: what input population this generator mimics.
-        func: callable ``func(n, seed) -> list`` producing ``n`` inputs.
+        func: optional callable ``func(n, seed) -> list`` producing ``n``
+            inputs at once (the legacy whole-list shape; still accepted so
+            external benchmarks keep working, but such populations can only
+            be streamed through a :class:`MaterializedInputs` adapter).
+        item: optional callable ``item(index, seed) -> input`` producing
+            input ``index`` alone -- the per-index shape every built-in
+            benchmark provides, and what makes a population lazily
+            streamable (see :mod:`repro.core.inputs`).
     """
 
     name: str
     description: str
-    func: Callable[[int, int], List[Any]]
+    func: Optional[Callable[[int, int], List[Any]]] = None
+    item: Optional[Callable[[int, int], Any]] = None
 
-    def generate(self, n: int, seed: int = 0) -> List[Any]:
-        """Produce ``n`` inputs deterministically from ``seed``."""
+    def __post_init__(self) -> None:
+        if self.func is None and self.item is None:
+            raise ValueError("InputGenerator needs a whole-list func or a per-index item")
+
+    def source(self, n: int, seed: int = 0) -> InputSource:
+        """A lazy source of ``n`` inputs (materialized up front without ``item``)."""
         if n < 0:
             raise ValueError("n must be non-negative")
-        return self.func(n, seed)
+        if self.item is not None:
+            return GeneratedInputSource(n, seed, self.item, name=self.name)
+        return MaterializedInputs(self.func(n, seed))
+
+    def generate(self, n: int, seed: int = 0) -> List[Any]:
+        """Produce ``n`` inputs deterministically from ``seed`` as a list."""
+        return self.source(n, seed=seed).materialized()
 
 
 class Benchmark(abc.ABC):
@@ -82,10 +104,16 @@ class Benchmark(abc.ABC):
     def input_generators(self) -> Dict[str, InputGenerator]:
         """Return the benchmark's named input generators."""
 
-    def generate_inputs(
+    def input_source(
         self, n: int, variant: str = "synthetic", seed: int = 0
-    ) -> List[Any]:
-        """Generate ``n`` inputs from the named generator variant.
+    ) -> InputSource:
+        """A lazy source of ``n`` inputs from the named generator variant.
+
+        The returned :class:`~repro.core.inputs.InputSource` knows its
+        length and materializes each input independently and
+        deterministically, so consumers can stream the population in
+        O(chunk) memory; it is also a ``Sequence``, so code written against
+        input lists keeps working unchanged.
 
         Raises:
             KeyError: if ``variant`` is not one of :meth:`input_generators`.
@@ -96,7 +124,17 @@ class Benchmark(abc.ABC):
                 f"{self.name}: unknown input variant {variant!r}; "
                 f"available: {sorted(generators)}"
             )
-        return generators[variant].generate(n, seed=seed)
+        return generators[variant].source(n, seed=seed)
+
+    def generate_inputs(
+        self, n: int, variant: str = "synthetic", seed: int = 0
+    ) -> List[Any]:
+        """Generate ``n`` inputs as a list: :meth:`input_source`, materialized.
+
+        Raises:
+            KeyError: if ``variant`` is not one of :meth:`input_generators`.
+        """
+        return self.input_source(n, variant=variant, seed=seed).materialized()
 
     def default_variant(self) -> str:
         """The generator used when an experiment does not name one."""

@@ -62,6 +62,6 @@ class BinPackingBenchmark(Benchmark):
             "synthetic": InputGenerator(
                 name="synthetic",
                 description="mixture of packable, small-item, pre-sorted, bimodal and uniform item lists",
-                func=generators.generate_synthetic,
+                item=generators.synthetic_item,
             ),
         }

@@ -19,6 +19,8 @@ from typing import List
 
 import numpy as np
 
+from repro.core.inputs import per_index_rng
+
 #: The lower bound is large enough that the partially-filled final bin of a
 #: good packing cannot by itself drag the mean occupancy below the 0.95
 #: accuracy threshold.
@@ -98,11 +100,13 @@ SYNTHETIC_FAMILIES = [
 ]
 
 
+def synthetic_item(index: int, seed: int = 0) -> np.ndarray:
+    """Input ``index`` of the Bin Packing population (pure in (index, seed))."""
+    rng = per_index_rng(seed, index, "binpacking", "synthetic")
+    family = SYNTHETIC_FAMILIES[index % len(SYNTHETIC_FAMILIES)]
+    return family(rng)
+
+
 def generate_synthetic(n: int, seed: int = 0) -> List[np.ndarray]:
     """The Bin Packing input population used in Table 1."""
-    rng = np.random.default_rng(seed)
-    inputs: List[np.ndarray] = []
-    for i in range(n):
-        family = SYNTHETIC_FAMILIES[i % len(SYNTHETIC_FAMILIES)]
-        inputs.append(family(rng))
-    return inputs
+    return [synthetic_item(i, seed) for i in range(n)]

@@ -118,11 +118,11 @@ class ClusteringBenchmark(Benchmark):
             "synthetic": InputGenerator(
                 name="synthetic",
                 description="Gaussian blob mixtures and noise populations (clustering2)",
-                func=generators.generate_synthetic,
+                item=generators.synthetic_item,
             ),
             "real_world": InputGenerator(
                 name="real_world",
                 description="poker-hand-like lattice data standing in for the UCI dataset (clustering1)",
-                func=generators.generate_real_world,
+                item=generators.real_world_item,
             ),
         }

@@ -12,6 +12,10 @@
 Inputs are :class:`ClusteringInput` objects (defined in ``benchmark.py``)
 carrying the point array, the generator's true cluster count when known, and
 a cache slot for the canonical clustering used by the accuracy metric.
+
+Generation is per-index (``synthetic_item`` / ``real_world_item``): input
+*i* draws from its own (population, seed, i)-seeded RNG, so the lazy
+``InputSource`` pipeline can materialize any input without the rest.
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ from typing import List
 import numpy as np
 
 from repro.benchmarks_suite.clustering.benchmark import ClusteringInput
+from repro.core.inputs import per_index_rng
 
 MIN_POINTS = 80
 MAX_POINTS = 600
@@ -87,45 +92,49 @@ SYNTHETIC_FAMILIES = [
 ]
 
 
+def synthetic_item(index: int, seed: int = 0) -> ClusteringInput:
+    """Input ``index`` of the clustering2 population (pure in (index, seed))."""
+    rng = per_index_rng(seed, index, "clustering", "synthetic")
+    family = SYNTHETIC_FAMILIES[index % len(SYNTHETIC_FAMILIES)]
+    return family(rng)
+
+
 def generate_synthetic(n: int, seed: int = 0) -> List[ClusteringInput]:
     """The clustering2 population."""
-    rng = np.random.default_rng(seed)
-    inputs: List[ClusteringInput] = []
-    for i in range(n):
-        family = SYNTHETIC_FAMILIES[i % len(SYNTHETIC_FAMILIES)]
-        inputs.append(family(rng))
-    return inputs
+    return [synthetic_item(i, seed) for i in range(n)]
 
 
-def generate_real_world(n: int, seed: int = 0) -> List[ClusteringInput]:
-    """The clustering1 population: poker-hand-like lattice data.
+def real_world_item(index: int, seed: int = 0) -> ClusteringInput:
+    """Input ``index`` of the clustering1 population: poker-hand-like lattice data.
 
     Points live on a small integer lattice (card rank x suit), occupancy is
     highly skewed (some hands are far more common), and many points coincide
     exactly -- the regime where a cheap density feature identifies the input
     class and small-k configurations win.
     """
-    rng = np.random.default_rng(seed + 104729)
-    inputs: List[ClusteringInput] = []
-    for _ in range(n):
-        count = _random_count(rng)
-        n_modes = int(rng.integers(2, 7))
-        mode_centers = np.stack(
-            [rng.integers(1, 14, size=n_modes), rng.integers(1, 5, size=n_modes)],
-            axis=1,
-        ).astype(float)
-        weights = rng.dirichlet(np.ones(n_modes) * 0.6)
-        assignments = rng.choice(n_modes, size=count, p=weights)
-        # Lattice jitter of at most one step; modes themselves sit on a much
-        # coarser grid (see the scaling below), so hands belonging to
-        # different modes stay well separated and coincide heavily within a
-        # mode -- the structure that makes cheap small-k configurations
-        # reliably accurate on this population.
-        jitter = rng.integers(-1, 2, size=(count, 2)).astype(float) * 0.5
-        points = mode_centers[assignments] + jitter
-        points[:, 0] = np.clip(points[:, 0], 1, 13)
-        points[:, 1] = np.clip(points[:, 1], 1, 4)
-        # Scale ranks and suits onto comparable, well-separated numeric ranges.
-        points = points * np.array([6.0, 18.0])
-        inputs.append(ClusteringInput(points=points, true_k=n_modes))
-    return inputs
+    rng = per_index_rng(seed, index, "clustering", "real_world")
+    count = _random_count(rng)
+    n_modes = int(rng.integers(2, 7))
+    mode_centers = np.stack(
+        [rng.integers(1, 14, size=n_modes), rng.integers(1, 5, size=n_modes)],
+        axis=1,
+    ).astype(float)
+    weights = rng.dirichlet(np.ones(n_modes) * 0.6)
+    assignments = rng.choice(n_modes, size=count, p=weights)
+    # Lattice jitter of at most one step; modes themselves sit on a much
+    # coarser grid (see the scaling below), so hands belonging to
+    # different modes stay well separated and coincide heavily within a
+    # mode -- the structure that makes cheap small-k configurations
+    # reliably accurate on this population.
+    jitter = rng.integers(-1, 2, size=(count, 2)).astype(float) * 0.5
+    points = mode_centers[assignments] + jitter
+    points[:, 0] = np.clip(points[:, 0], 1, 13)
+    points[:, 1] = np.clip(points[:, 1], 1, 4)
+    # Scale ranks and suits onto comparable, well-separated numeric ranges.
+    points = points * np.array([6.0, 18.0])
+    return ClusteringInput(points=points, true_k=n_modes)
+
+
+def generate_real_world(n: int, seed: int = 0) -> List[ClusteringInput]:
+    """The clustering1 population: poker-hand-like lattice data."""
+    return [real_world_item(i, seed) for i in range(n)]

@@ -122,6 +122,6 @@ class Helmholtz3DBenchmark(Benchmark):
             "synthetic": InputGenerator(
                 name="synthetic",
                 description="RHS/coefficient pairs with smooth, oscillatory, sparse, rough, and noisy structure",
-                func=generators.generate_synthetic,
+                item=generators.synthetic_item,
             ),
         }

@@ -14,6 +14,7 @@ from typing import List
 import numpy as np
 
 from repro.benchmarks_suite.helmholtz3d.benchmark import HelmholtzInput
+from repro.core.inputs import per_index_rng
 
 GRID_SIZES = (7, 11, 15)
 
@@ -87,11 +88,13 @@ def white_noise(rng: np.random.Generator) -> HelmholtzInput:
 SYNTHETIC_FAMILIES = [smooth, oscillatory, point_sources, rough_coefficient, white_noise]
 
 
+def synthetic_item(index: int, seed: int = 0) -> HelmholtzInput:
+    """Input ``index`` of the Helmholtz 3D population (pure in (index, seed))."""
+    rng = per_index_rng(seed, index, "helmholtz3d", "synthetic")
+    family = SYNTHETIC_FAMILIES[index % len(SYNTHETIC_FAMILIES)]
+    return family(rng)
+
+
 def generate_synthetic(n: int, seed: int = 0) -> List[HelmholtzInput]:
     """The Helmholtz 3D input population used in Table 1."""
-    rng = np.random.default_rng(seed)
-    inputs: List[HelmholtzInput] = []
-    for i in range(n):
-        family = SYNTHETIC_FAMILIES[i % len(SYNTHETIC_FAMILIES)]
-        inputs.append(family(rng))
-    return inputs
+    return [synthetic_item(i, seed) for i in range(n)]

@@ -118,6 +118,6 @@ class Poisson2DBenchmark(Benchmark):
             "synthetic": InputGenerator(
                 name="synthetic",
                 description="right-hand sides with smooth, oscillatory, sparse, mixed, and noisy spectra",
-                func=generators.generate_synthetic,
+                item=generators.synthetic_item,
             ),
         }

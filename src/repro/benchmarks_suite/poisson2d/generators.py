@@ -23,6 +23,7 @@ from typing import List
 import numpy as np
 
 from repro.benchmarks_suite.poisson2d.benchmark import PoissonInput
+from repro.core.inputs import per_index_rng
 
 GRID_SIZES = (15, 23, 31)
 
@@ -88,11 +89,13 @@ def white_noise(rng: np.random.Generator) -> PoissonInput:
 SYNTHETIC_FAMILIES = [smooth, oscillatory, point_sources, mixed_spectrum, white_noise]
 
 
+def synthetic_item(index: int, seed: int = 0) -> PoissonInput:
+    """Input ``index`` of the Poisson 2D population (pure in (index, seed))."""
+    rng = per_index_rng(seed, index, "poisson2d", "synthetic")
+    family = SYNTHETIC_FAMILIES[index % len(SYNTHETIC_FAMILIES)]
+    return family(rng)
+
+
 def generate_synthetic(n: int, seed: int = 0) -> List[PoissonInput]:
     """The Poisson 2D input population used in Table 1."""
-    rng = np.random.default_rng(seed)
-    inputs: List[PoissonInput] = []
-    for i in range(n):
-        family = SYNTHETIC_FAMILIES[i % len(SYNTHETIC_FAMILIES)]
-        inputs.append(family(rng))
-    return inputs
+    return [synthetic_item(i, seed) for i in range(n)]

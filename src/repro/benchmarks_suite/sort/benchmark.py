@@ -114,11 +114,11 @@ class SortBenchmark(Benchmark):
             "synthetic": InputGenerator(
                 name="synthetic",
                 description="mixture of generator families spanning the feature space (sort2)",
-                func=generators.generate_synthetic,
+                item=generators.synthetic_item,
             ),
             "real_world": InputGenerator(
                 name="real_world",
                 description="registry-extract-like lists standing in for the CCR FOIA data (sort1)",
-                func=generators.generate_real_world,
+                item=generators.real_world_item,
             ),
         }

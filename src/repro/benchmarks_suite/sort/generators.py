@@ -12,6 +12,12 @@ Two populations, mirroring the paper's two Sort tests:
   registry extracts: long runs of already-sorted blocks (data exported from
   sorted tables), heavy duplication (categorical codes, repeated ZIP codes),
   and skewed magnitudes.  See DESIGN.md, substitution 2.
+
+Generation is **per-index**: ``synthetic_item(i, seed)`` /
+``real_world_item(i, seed)`` produce input *i* from an RNG seeded by
+(population, seed, i), so any input is derivable without generating
+0..i-1 -- the property the lazy ``InputSource`` pipeline relies on.  The
+whole-list ``generate_*`` functions are thin loops over the item functions.
 """
 
 from __future__ import annotations
@@ -19,6 +25,8 @@ from __future__ import annotations
 from typing import Callable, Dict, List
 
 import numpy as np
+
+from repro.core.inputs import per_index_rng
 
 #: Input length bounds.  Kept modest so the full experiment matrix
 #: (inputs x landmarks) runs in minutes while still spanning a 32x range,
@@ -110,41 +118,44 @@ SYNTHETIC_FAMILIES: List[Callable[[np.random.Generator], np.ndarray]] = [
 ]
 
 
+def synthetic_item(index: int, seed: int = 0) -> np.ndarray:
+    """Input ``index`` of the sort2 population (pure in (index, seed))."""
+    rng = per_index_rng(seed, index, "sort", "synthetic")
+    family = SYNTHETIC_FAMILIES[index % len(SYNTHETIC_FAMILIES)]
+    return family(rng).astype(float)
+
+
 def generate_synthetic(n: int, seed: int = 0) -> List[np.ndarray]:
     """The sort2 population: an even mixture over all synthetic families."""
-    rng = np.random.default_rng(seed)
-    inputs: List[np.ndarray] = []
-    for i in range(n):
-        family = SYNTHETIC_FAMILIES[i % len(SYNTHETIC_FAMILIES)]
-        inputs.append(family(rng).astype(float))
-    return inputs
+    return [synthetic_item(i, seed) for i in range(n)]
 
 
-def generate_real_world(n: int, seed: int = 0) -> List[np.ndarray]:
-    """The sort1 population: registry-extract-like lists.
+def real_world_item(index: int, seed: int = 0) -> np.ndarray:
+    """Input ``index`` of the sort1 population: one registry-extract-like list.
 
-    Each list is built from sorted blocks (exports of pre-sorted tables) with
-    heavy duplication of categorical keys and occasional unsorted appendices,
+    Built from sorted blocks (exports of pre-sorted tables) with heavy
+    duplication of categorical keys and occasional unsorted appendices,
     which is the regime where adaptive selection between insertion sort,
     merge sort, and radix sort pays off.
     """
-    rng = np.random.default_rng(seed + 7919)
-    inputs: List[np.ndarray] = []
-    for _ in range(n):
-        n_total = _random_length(rng)
-        blocks: List[np.ndarray] = []
-        remaining = n_total
-        while remaining > 0:
-            block_size = int(min(remaining, rng.integers(16, 257)))
-            # Categorical-ish keys: a small code space scaled up, then sorted
-            # within the block with probability 0.7 (already-sorted exports).
-            code_space = int(rng.integers(8, 513))
-            block = rng.integers(0, code_space, size=block_size).astype(float)
-            block *= float(rng.uniform(1.0, 1e4))
-            if rng.random() < 0.7:
-                block = np.sort(block)
-            blocks.append(block)
-            remaining -= block_size
-        data = np.concatenate(blocks)
-        inputs.append(data)
-    return inputs
+    rng = per_index_rng(seed, index, "sort", "real_world")
+    n_total = _random_length(rng)
+    blocks: List[np.ndarray] = []
+    remaining = n_total
+    while remaining > 0:
+        block_size = int(min(remaining, rng.integers(16, 257)))
+        # Categorical-ish keys: a small code space scaled up, then sorted
+        # within the block with probability 0.7 (already-sorted exports).
+        code_space = int(rng.integers(8, 513))
+        block = rng.integers(0, code_space, size=block_size).astype(float)
+        block *= float(rng.uniform(1.0, 1e4))
+        if rng.random() < 0.7:
+            block = np.sort(block)
+        blocks.append(block)
+        remaining -= block_size
+    return np.concatenate(blocks)
+
+
+def generate_real_world(n: int, seed: int = 0) -> List[np.ndarray]:
+    """The sort1 population: registry-extract-like lists."""
+    return [real_world_item(i, seed) for i in range(n)]

@@ -94,6 +94,6 @@ class SVDBenchmark(Benchmark):
             "synthetic": InputGenerator(
                 name="synthetic",
                 description="matrices with low-rank, decaying, flat, and sparse spectra",
-                func=generators.generate_synthetic,
+                item=generators.synthetic_item,
             ),
         }

@@ -21,6 +21,7 @@ from typing import List
 import numpy as np
 
 from repro.benchmarks_suite.svd.benchmark import SVDInput
+from repro.core.inputs import per_index_rng
 
 #: Matrix dimensions; modest so the experiment matrix stays fast.
 MIN_ROWS, MAX_ROWS = 24, 64
@@ -92,11 +93,13 @@ def sparse_matrix(rng: np.random.Generator) -> SVDInput:
 SYNTHETIC_FAMILIES = [low_rank, decaying_spectrum, full_rank_noise, sparse_matrix]
 
 
+def synthetic_item(index: int, seed: int = 0) -> SVDInput:
+    """Input ``index`` of the SVD population (pure in (index, seed))."""
+    rng = per_index_rng(seed, index, "svd", "synthetic")
+    family = SYNTHETIC_FAMILIES[index % len(SYNTHETIC_FAMILIES)]
+    return family(rng)
+
+
 def generate_synthetic(n: int, seed: int = 0) -> List[SVDInput]:
     """The SVD input population used in Table 1."""
-    rng = np.random.default_rng(seed)
-    inputs: List[SVDInput] = []
-    for i in range(n):
-        family = SYNTHETIC_FAMILIES[i % len(SYNTHETIC_FAMILIES)]
-        inputs.append(family(rng))
-    return inputs
+    return [synthetic_item(i, seed) for i in range(n)]

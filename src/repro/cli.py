@@ -22,11 +22,20 @@ from repro.benchmarks_suite import registry
 from repro.runtime import EXECUTORS
 from repro.experiments.figure7 import model_figure7a, model_figure7b
 from repro.experiments.reporting import format_series, format_table
-from repro.experiments.runner import ExperimentConfig, _env_batch_chunk, run_experiment
+from repro.experiments.runner import (
+    ExperimentConfig,
+    _env_batch_chunk,
+    _env_cache_max_entries,
+    _env_stream_inputs,
+    run_experiment,
+)
 from repro.experiments.table1 import TABLE1_TESTS, format_table1, run_table1, summarize_headline
 
 
 def _experiment_config(args: argparse.Namespace) -> ExperimentConfig:
+    max_entries = args.cache_max_entries
+    if max_entries is not None and max_entries <= 0:
+        max_entries = None  # explicit opt-out of the LRU cap
     return ExperimentConfig(
         n_inputs=args.inputs,
         n_clusters=args.clusters,
@@ -37,6 +46,8 @@ def _experiment_config(args: argparse.Namespace) -> ExperimentConfig:
         use_cache=not args.no_cache,
         cache_path=args.cache_path,
         batch_chunk=args.batch_chunk,
+        cache_max_entries=max_entries,
+        stream_inputs=args.stream_inputs,
     )
 
 
@@ -76,6 +87,22 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
         "(bounds peak memory; results are bit-identical)",
     )
     parser.add_argument(
+        "--cache-max-entries",
+        type=int,
+        default=_env_cache_max_entries(),
+        help="LRU cap on the in-memory run cache (default: "
+        "%(default)s entries, ~45 MB; 0 or negative for unbounded; "
+        "with --cache-path, evicted entries stay reachable on disk)",
+    )
+    parser.add_argument(
+        "--stream-inputs",
+        action=argparse.BooleanOptionalAction,
+        default=_env_stream_inputs(),
+        help="feed the pipeline a lazy input source (--no-stream-inputs "
+        "materializes the full list up front; results are bit-identical "
+        "either way, and either spelling overrides REPRO_STREAM_INPUTS)",
+    )
+    parser.add_argument(
         "--runtime-stats",
         action="store_true",
         help="print executor/cache/phase statistics after the run",
@@ -91,14 +118,16 @@ def _print_runtime_stats(args: argparse.Namespace, stats: dict) -> None:
         print(f"  executor fallback: {stats['executor_fallback']}")
     cache = stats.get("cache")
     if cache:
-        shards = (
-            f", {cache['shards_loaded']} shard(s) loaded"
-            if "shards_loaded" in cache
-            else ""
-        )
+        extras = ""
+        if "shards_loaded" in cache:
+            extras += f", {cache['shards_loaded']} shard(s) loaded"
+        if cache.get("evictions"):
+            extras += f", {cache['evictions']} evictions"
+        if cache.get("shard_rereads"):
+            extras += f", {cache['shard_rereads']} shard re-reads"
         print(
             f"  cache: {cache['entries']} entries, "
-            f"{cache['hits']} hits, {cache['misses']} misses{shards}"
+            f"{cache['hits']} hits, {cache['misses']} misses{extras}"
         )
     telemetry = stats.get("telemetry", {})
     counters = telemetry.get("counters", {})
@@ -113,6 +142,10 @@ def _print_runtime_stats(args: argparse.Namespace, stats: dict) -> None:
             f"{counters.get('tasks_executed', 0)} executed, "
             f"{counters.get('task_cache_hits', 0)} cache hits"
         )
+    if counters.get("chunks_dispatched"):
+        print(f"  streaming: {counters['chunks_dispatched']} chunk(s) dispatched")
+    if counters.get("inputs_generated"):
+        print(f"  inputs: {counters['inputs_generated']} lazily generated")
     for name, phase in sorted(telemetry.get("phases", {}).items()):
         print(f"  phase {name}: {phase['seconds']:.3f}s over {phase['calls']} call(s)")
 

@@ -25,6 +25,9 @@ The subpackage is organized along the paper's Section 3:
   input-optimized program.
 * :mod:`repro.core.model` -- the Section 4.3 theoretical model of
   diminishing returns in the number of landmark configurations.
+* :mod:`repro.core.inputs` -- lazy :class:`InputSource` populations: known
+  length, deterministic per-index materialization, chunked iteration -- the
+  input side of the streaming (50k-input-regime) story.
 """
 
 from repro.core.baselines import (
@@ -40,6 +43,14 @@ from repro.core.classifiers import (
     SubsetDecisionTreeClassifier,
 )
 from repro.core.dataset import PerformanceDataset
+from repro.core.inputs import (
+    GeneratedInputSource,
+    InputSource,
+    MaterializedInputs,
+    ObservedInputSource,
+    ensure_source,
+    per_index_rng,
+)
 from repro.core.level1 import Level1Config, Level1Result, run_level1
 from repro.core.level2 import Level2Config, Level2Result, run_level2
 from repro.core.model import (
@@ -56,11 +67,17 @@ __all__ = [
     "ClassifierEvaluation",
     "DeployedProgram",
     "DynamicOracle",
+    "ensure_source",
     "evaluate_classifier",
     "expected_speedup_loss",
     "fraction_of_full_speedup",
+    "GeneratedInputSource",
     "IncrementalFeatureExaminationClassifier",
     "InputAwareLearning",
+    "InputSource",
+    "MaterializedInputs",
+    "ObservedInputSource",
+    "per_index_rng",
     "Level1Config",
     "Level1Result",
     "Level2Config",

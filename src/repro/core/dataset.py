@@ -26,6 +26,7 @@ from typing import Any, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.inputs import InputSource
 from repro.lang.accuracy import AccuracyRequirement
 from repro.lang.config import Configuration
 
@@ -44,7 +45,10 @@ class PerformanceDataset:
         requirement: the program's accuracy requirement (used for labelling).
         inputs: optionally, the raw input objects (kept by the pipeline for
             deployment-time evaluation; experiments that only need the
-            matrices may drop them).
+            matrices may drop them).  Either a plain list or a lazy
+            :class:`~repro.core.inputs.InputSource` -- consumers index and
+            iterate it the same way, but a source re-materializes inputs on
+            demand instead of pinning the whole population in memory.
     """
 
     feature_names: List[str]
@@ -54,7 +58,7 @@ class PerformanceDataset:
     accuracies: np.ndarray
     landmarks: List[Configuration]
     requirement: AccuracyRequirement
-    inputs: Optional[List[Any]] = field(default=None, repr=False)
+    inputs: Optional[Sequence[Any]] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         self.features = np.asarray(self.features, dtype=float)
@@ -136,11 +140,50 @@ class PerformanceDataset:
         labels = self.labels()
         return self.times[np.arange(self.n_inputs), labels]
 
+    def without_inputs(self) -> "PerformanceDataset":
+        """This datatable minus the raw inputs (matrices shared, memoized).
+
+        The shape task batches ship to executor workers: Level-2 fitting,
+        candidate scoring, and cross-validation read only the matrices, so
+        the raw inputs are dead weight on the wire -- potentially large,
+        and, for a streamed run, a lazy source whose observer callback
+        would not survive pickling under a spawn start method.  The view is
+        memoized so every batch hands the executor the *identical* object
+        and the process pool's shared-argument registry is not rebuilt per
+        batch.
+        """
+        if self.inputs is None:
+            return self
+        stripped = self.__dict__.get("_without_inputs")
+        if stripped is None:
+            stripped = PerformanceDataset(
+                feature_names=self.feature_names,
+                features=self.features,
+                extraction_costs=self.extraction_costs,
+                times=self.times,
+                accuracies=self.accuracies,
+                landmarks=self.landmarks,
+                requirement=self.requirement,
+                inputs=None,
+            )
+            self.__dict__["_without_inputs"] = stripped
+        return stripped
+
     # -- slicing ------------------------------------------------------------
 
     def subset(self, indices: Sequence[int]) -> "PerformanceDataset":
-        """A new dataset restricted to the given row indices."""
+        """A new dataset restricted to the given row indices.
+
+        A lazy input source is narrowed with a lazy view (no
+        materialization); a plain input list is sliced eagerly.
+        """
         indices = np.asarray(indices, dtype=int)
+        if self.inputs is None:
+            inputs = None
+        elif isinstance(self.inputs, InputSource):
+            inputs = self.inputs.select(int(i) for i in indices)
+        else:
+            inputs = [self.inputs[int(i)] for i in indices]
         return PerformanceDataset(
             feature_names=list(self.feature_names),
             features=self.features[indices],
@@ -149,9 +192,7 @@ class PerformanceDataset:
             accuracies=self.accuracies[indices],
             landmarks=list(self.landmarks),
             requirement=self.requirement,
-            inputs=None
-            if self.inputs is None
-            else [self.inputs[int(i)] for i in indices],
+            inputs=inputs,
         )
 
     def restrict_landmarks(self, landmark_indices: Sequence[int]) -> "PerformanceDataset":

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.autotuner import EvolutionaryAutotuner
 from repro.core.dataset import PerformanceDataset
+from repro.core.inputs import InputSource
 from repro.lang.config import Configuration
 from repro.lang.program import PetaBricksProgram
 from repro.ml.kmeans import KMeans
@@ -101,6 +102,9 @@ def extract_features(
     """Step 1: extract every feature of every input, with costs.
 
     Returns a dict with ``"features"`` (N, M) and ``"costs"`` (N, M).
+    Inputs are consumed one at a time, so a lazy
+    :class:`~repro.core.inputs.InputSource` streams through in O(1)
+    transient memory -- only the two (N, M) matrices persist.
     """
     n = len(inputs)
     m = program.features.num_features()
@@ -231,7 +235,18 @@ def run_level1(
     progress: Optional[Callable[[str], None]] = None,
     runtime: Optional[Runtime] = None,
 ) -> Level1Result:
-    """Run the full Level-1 pipeline and assemble the performance dataset."""
+    """Run the full Level-1 pipeline and assemble the performance dataset.
+
+    ``inputs`` may be a plain list or a lazy
+    :class:`~repro.core.inputs.InputSource`.  With a source, no stage holds
+    the whole population: feature extraction consumes it one input at a
+    time, landmark tuning materializes only each cluster's representatives,
+    and the measurement matrix streams through :meth:`Runtime.measure`
+    (re-materializing inputs per chunk), so peak memory stays O(chunk)
+    rather than O(N) while every number stays bit-identical to the
+    materialized path (per-index generation is deterministic, so the
+    content-keyed run cache sees the same keys either way).
+    """
     if config is None:
         config = Level1Config()
     if len(inputs) < 2:
@@ -277,7 +292,10 @@ def run_level1(
         accuracies=measured["accuracies"],
         landmarks=list(landmarks),
         requirement=program.accuracy_requirement,
-        inputs=list(inputs),
+        # A lazy source is kept as-is -- materializing it here would
+        # reintroduce the O(N) input list the streaming path removes; the
+        # dataset's consumers only ever index or re-iterate it.
+        inputs=inputs if isinstance(inputs, InputSource) else list(inputs),
     )
     return Level1Result(
         dataset=dataset,

@@ -451,7 +451,7 @@ def train_classifier_zoo(
         (_DATASET_REF, labels, train_rows),
     )
     return active.run_tasks(
-        tasks, phase="level2.fit", shared={_DATASET_TOKEN: dataset}
+        tasks, phase="level2.fit", shared={_DATASET_TOKEN: dataset.without_inputs()}
     )
 
 
@@ -514,7 +514,7 @@ def run_level2(
         (_DATASET_REF, labels, train_rows, test_rows),
     )
     fitted = active.run_tasks(
-        tasks, phase="level2.candidates", shared={_DATASET_TOKEN: dataset}
+        tasks, phase="level2.candidates", shared={_DATASET_TOKEN: dataset.without_inputs()}
     )
     classifiers = [classifier for classifier, _ in fitted]
     evaluations = [evaluation for _, evaluation in fitted]

@@ -180,7 +180,7 @@ def cross_validate_classifier(
         for fold_index, (fold_train, fold_test) in enumerate(splitter.split(labels[rows]))
     ]
     return active.run_tasks(
-        tasks, phase="selection.crossval", shared={_CV_DATASET_TOKEN: dataset}
+        tasks, phase="selection.crossval", shared={_CV_DATASET_TOKEN: dataset.without_inputs()}
     )
 
 

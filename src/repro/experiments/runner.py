@@ -28,10 +28,11 @@ import numpy as np
 
 from repro.benchmarks_suite import get_benchmark
 from repro.core.baselines import DynamicOracle, OneLevelLearning, StaticOracle
+from repro.core.inputs import ObservedInputSource
 from repro.core.level1 import Level1Config
 from repro.core.level2 import Level2Config
 from repro.core.pipeline import InputAwareLearning, TrainingResult
-from repro.runtime import Runtime, default_runtime
+from repro.runtime import RunCache, Runtime, default_runtime
 
 
 def _env_executor() -> str:
@@ -60,6 +61,30 @@ def _env_batch_chunk() -> Optional[int]:
         return None
 
 
+def _env_cache_max_entries() -> Optional[int]:
+    """``REPRO_CACHE_MAX_ENTRIES`` as an entry cap, or the built-in default.
+
+    Zero or negative means "unbounded" (an explicit opt-out of the LRU
+    cap); unset or malformed falls back to
+    :attr:`repro.runtime.RunCache.DEFAULT_MAX_ENTRIES`.
+    """
+    value = os.environ.get("REPRO_CACHE_MAX_ENTRIES", "").strip()
+    if not value:
+        return RunCache.DEFAULT_MAX_ENTRIES
+    try:
+        parsed = int(value)
+    except ValueError:
+        warnings.warn(f"ignoring non-integer REPRO_CACHE_MAX_ENTRIES={value!r}")
+        return RunCache.DEFAULT_MAX_ENTRIES
+    return parsed if parsed > 0 else None
+
+
+def _env_stream_inputs() -> bool:
+    """``REPRO_STREAM_INPUTS``: falsy values opt out of lazy input sources."""
+    value = os.environ.get("REPRO_STREAM_INPUTS", "").strip().lower()
+    return value not in ("0", "false", "no", "off")
+
+
 @dataclass
 class ExperimentConfig:
     """Size and seed knobs shared by all experiment drivers.
@@ -84,6 +109,17 @@ class ExperimentConfig:
     batches are dispatched in chunks of at most this many items, bounding
     peak memory by O(chunk) on the way to the paper's 50-60k-input regime.
     Results are bit-identical with or without it, whatever the executor.
+
+    The remaining two memory knobs complete that story end to end.
+    ``stream_inputs`` (on by default; ``--no-stream-inputs`` /
+    ``REPRO_STREAM_INPUTS=0`` opt out) feeds the pipeline a lazy
+    :class:`~repro.core.inputs.InputSource` instead of a materialized input
+    list, so the inputs themselves are regenerated per index/chunk rather
+    than pinned for the whole run.  ``cache_max_entries``
+    (``--cache-max-entries`` / ``REPRO_CACHE_MAX_ENTRIES``; <= 0 for
+    unbounded) caps the in-memory run cache.  With all three set, a run's
+    peak memory is O(chunk) inputs + O(chunk) transient results +
+    O(cache cap) -- not O(N) -- with bit-identical outputs.
     """
 
     n_inputs: int = 240
@@ -99,6 +135,8 @@ class ExperimentConfig:
     use_cache: bool = True
     cache_path: Optional[str] = None
     batch_chunk: Optional[int] = field(default_factory=_env_batch_chunk)
+    cache_max_entries: Optional[int] = field(default_factory=_env_cache_max_entries)
+    stream_inputs: bool = field(default_factory=_env_stream_inputs)
 
     def make_runtime(self) -> Runtime:
         """Build the measurement runtime these knobs describe."""
@@ -106,6 +144,7 @@ class ExperimentConfig:
             executor=self.executor,
             workers=self.workers,
             use_cache=self.use_cache,
+            max_entries=self.cache_max_entries,
             cache_path=self.cache_path,
             batch_chunk=self.batch_chunk,
         )
@@ -275,10 +314,26 @@ def run_experiment(
         config = ExperimentConfig()
     with config.runtime_scope(runtime) as active:
         variant = get_benchmark(test_name)
-        with active.telemetry.phase("generate_inputs"):
-            inputs = variant.benchmark.generate_inputs(
-                config.n_inputs, variant.variant, seed=config.seed
-            )
+        source = variant.benchmark.input_source(
+            config.n_inputs, variant.variant, seed=config.seed
+        )
+        if config.stream_inputs:
+            # Lazy path: nothing is generated yet.  Generation happens at
+            # each materialization inside the consuming phases, so its cost
+            # is observed per input and accumulated under the
+            # ``inputs.generate`` phase (plus the ``inputs_generated``
+            # counter) instead of a monolithic up-front ``generate_inputs``
+            # phase.
+            telemetry = active.telemetry
+
+            def _observe(seconds: float) -> None:
+                telemetry.add_seconds("inputs.generate", seconds)
+                telemetry.count("inputs_generated")
+
+            inputs = ObservedInputSource(source, _observe)
+        else:
+            with active.telemetry.phase("generate_inputs"):
+                inputs = source.materialized()
         learner = InputAwareLearning(
             level1_config=config.level1(),
             level2_config=config.level2(),

@@ -194,11 +194,27 @@ class RunCache:
     Args:
         max_entries: in-memory entry cap; least-recently-used entries are
             evicted once the cap is exceeded.  ``None`` means unbounded.
+            Capped caches with an attached store stay *complete* from the
+            caller's view: a lookup whose entry was evicted re-reads just
+            that key from its shard (see :meth:`get`), so eviction trades a
+            small file read for the bounded footprint, never a re-execution
+            of anything already persisted.
         persist_path: default store path for :meth:`save` / :meth:`load`.
             The path names a *directory* (the sharded store); a legacy
             single-file JSON cache found at the path is migrated in place on
             first load.
     """
+
+    #: Default in-memory entry cap used by :meth:`repro.runtime.Runtime.create`
+    #: (overridable via ``--cache-max-entries`` / ``REPRO_CACHE_MAX_ENTRIES``).
+    #: An in-memory entry costs ~450 bytes (key + output-free ``RunResult``;
+    #: measured by ``benchmarks/test_bench_runtime.py::
+    #: test_run_cache_entry_footprint``), so the cap bounds the cache at
+    #: ~45 MB -- far above a whole Table-1 row at default sizes, while a
+    #: 50k-input x K1 experiment (~750k distinct runs) stays bounded
+    #: instead of growing to ~340 MB.  Measurement runs touch each key
+    #: once, so LRU eviction inside such a sweep costs nothing.
+    DEFAULT_MAX_ENTRIES = 100_000
 
     def __init__(
         self,
@@ -213,12 +229,21 @@ class RunCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: Entries recovered from disk because a capped cache missed on a
+        #: key whose shard had already been faulted in (LRU-evicted since).
+        self.shard_rereads = 0
         #: Store directory attached by :meth:`load` for lazy shard reads.
         self._attached_store: Optional[str] = None
         #: Shard ids already read (or found missing) from the attached store.
         self._seen_shards: Set[str] = set()
         #: Shard ids holding entries added/updated since the last save.
         self._dirty_shards: Set[str] = set()
+        #: Shard ids that have lost at least one entry to LRU eviction since
+        #: being faulted in.  A miss on a seen shard outside this set cannot
+        #: be eviction's doing, so it skips the disk re-read entirely -- a
+        #: cold miss (brand-new run) never pays a shard parse unless the
+        #: cache has actually been churning that shard.
+        self._evicted_shards: Set[str] = set()
 
     # -- core operations ------------------------------------------------
 
@@ -250,10 +275,7 @@ class RunCache:
         self._store.move_to_end(key)
         if self.persist_path is not None and isinstance(key, str):
             self._dirty_shards.add(_shard_of(key))
-        if self.max_entries is not None:
-            while len(self._store) > self.max_entries:
-                self._store.popitem(last=False)
-                self.evictions += 1
+        self._evict_over_cap()
 
     def __len__(self) -> int:
         return len(self._store)
@@ -275,10 +297,17 @@ class RunCache:
         """
         self._store[key] = CacheEntry(result=result, has_output=False)
         self._store.move_to_end(key)
-        if self.max_entries is not None:
-            while len(self._store) > self.max_entries:
-                self._store.popitem(last=False)
-                self.evictions += 1
+        self._evict_over_cap()
+
+    def _evict_over_cap(self) -> None:
+        """Drop LRU entries past the cap, remembering which shards they hit."""
+        if self.max_entries is None:
+            return
+        while len(self._store) > self.max_entries:
+            evicted_key, _ = self._store.popitem(last=False)
+            self.evictions += 1
+            if self._attached_store is not None and isinstance(evicted_key, str):
+                self._evicted_shards.add(_shard_of(evicted_key))
 
     # -- sharded persistence --------------------------------------------
 
@@ -461,12 +490,22 @@ class RunCache:
         return len(entries)
 
     def _fault_in_shard(self, key: str) -> bool:
-        """Read ``key``'s shard from the attached store; True if it loaded."""
+        """Read ``key``'s shard from the attached store; True if it loaded.
+
+        A shard is normally read at most once per process.  The exception is
+        a *capped* cache: entries faulted in earlier may since have been
+        LRU-evicted, so a miss on a seen shard re-reads just the requested
+        key from disk (:meth:`_reread_single_key`) -- evicted entries stay
+        reachable through the sharded store instead of silently demanding
+        re-execution.
+        """
         if self._attached_store is None or not isinstance(key, str):
             return False
         shard_id = _shard_of(key)
         if shard_id in self._seen_shards:
-            return False
+            if self.max_entries is None:
+                return False
+            return self._reread_single_key(key, shard_id)
         self._seen_shards.add(shard_id)
         shard_path = self._shard_path(self._attached_store, shard_id)
         if not os.path.exists(shard_path):
@@ -494,6 +533,31 @@ class RunCache:
                 self._insert_loaded(stored_key, _record_result(record))
         if requested is not None and key not in self._store:
             self._insert_loaded(key, _record_result(requested))
+        return True
+
+    def _reread_single_key(self, key: str, shard_id: str) -> bool:
+        """Recover one evicted entry from an already-seen shard.
+
+        Only runs for shards that have actually lost entries to eviction
+        (:attr:`_evicted_shards`), so a brand-new key's miss costs no disk
+        work unless the cache is churning its shard.  Only the requested
+        key is inserted -- re-importing the whole shard into a tightly
+        capped cache would evict most of the working set to answer one
+        lookup.  Entries that were ``put()`` after the last save and then
+        evicted are genuinely gone (the store never saw them); the caller
+        re-executes those, which is always sound.
+        """
+        if shard_id not in self._evicted_shards:
+            return False
+        shard_path = self._shard_path(self._attached_store, shard_id)
+        entries = _read_entry_table(shard_path)
+        if entries is None:
+            return False
+        record = entries.get(_escape_key(key))
+        if record is None:
+            return False
+        self.shard_rereads += 1
+        self._insert_loaded(key, _record_result(record))
         return True
 
     def _is_own_store(self, target: str) -> bool:
@@ -555,6 +619,8 @@ class RunCache:
         }
         if self._attached_store is not None:
             info["shards_loaded"] = len(self._seen_shards)
+            if self.shard_rereads:
+                info["shard_rereads"] = self.shard_rereads
         return info
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -89,7 +89,7 @@ class Runtime:
         executor: str = "serial",
         workers: Optional[int] = None,
         use_cache: bool = True,
-        max_entries: Optional[int] = 200_000,
+        max_entries: Optional[int] = RunCache.DEFAULT_MAX_ENTRIES,
         cache_path: Optional[str] = None,
         batch_chunk: Optional[int] = None,
     ) -> "Runtime":
@@ -101,7 +101,11 @@ class Runtime:
         after a run to persist the updated cache.  ``use_cache=False``
         disables caching outright -- including any persisted store -- so
         every measurement demonstrably re-executes.  ``batch_chunk`` enables
-        streaming batches (see the class docstring).
+        streaming batches (see the class docstring).  ``max_entries`` caps
+        the in-memory run cache (``None`` = unbounded); the default keeps a
+        50k-input experiment's cache at tens of MB -- see
+        :attr:`RunCache.DEFAULT_MAX_ENTRIES` -- and with a sharded store
+        attached, evicted entries remain reachable from disk.
         """
         cache: Optional[RunCache] = None
         if use_cache:
@@ -185,6 +189,7 @@ class Runtime:
             piece = list(itertools.islice(iterator, chunk))
             if not piece:
                 return
+            self.telemetry.count("chunks_dispatched")
             yield from self._dispatch_pairs(program, piece)
 
     def _dispatch_pairs(
@@ -284,6 +289,7 @@ class Runtime:
                 return self._run_tasks(specs, shared)
             results: List[Any] = []
             for start in range(0, len(specs), chunk):
+                self.telemetry.count("chunks_dispatched")
                 results.extend(self._run_tasks(specs[start : start + chunk], shared))
             return results
 
@@ -345,19 +351,25 @@ class Runtime:
         and configuration columns, matching
         :func:`repro.core.level1.measure_performance`.
 
-        The pair enumeration is lazy and each result folds straight into
-        the output arrays, so with :attr:`batch_chunk` set the transient
-        footprint is one chunk of tasks/results -- the matrix itself (two
-        ``(n, k)`` float arrays) is the only O(N x K) allocation.
+        The pair enumeration is lazy, *input-major* (all K configurations
+        of input ``i`` before input ``i + 1``), and each result folds
+        straight into the output arrays.  Input-major order matters for
+        lazily generated inputs (:mod:`repro.core.inputs`): each input is
+        materialized exactly once and shared by its K adjacent tasks, so a
+        full matrix costs N materializations -- not N x K -- and with
+        :attr:`batch_chunk` set only ~chunk/K inputs are ever in flight.
+        The matrix itself (two ``(n, k)`` float arrays) is the only
+        O(N x K) allocation.  Runs are pure functions of their content, so
+        enumeration order never affects any value in the matrices.
         """
         n, k = len(inputs), len(configs)
         pairs = (
-            (config, program_input) for config in configs for program_input in inputs
+            (config, program_input) for program_input in inputs for config in configs
         )
         times = np.zeros((n, k))
         accuracies = np.zeros((n, k))
         for flat, result in enumerate(self.iter_pairs(program, pairs)):
-            j, i = divmod(flat, n)
+            i, j = divmod(flat, k)
             times[i, j] = result.time
             accuracies[i, j] = result.accuracy
         return {"times": times, "accuracies": accuracies}

@@ -56,6 +56,18 @@ class Telemetry:
             stats.calls += 1
             stats.seconds += time.perf_counter() - start
 
+    def add_seconds(self, name: str, seconds: float, calls: int = 1) -> None:
+        """Fold already-measured wall time into the named phase.
+
+        For work that cannot be wrapped in one :meth:`phase` block -- e.g.
+        streamed input generation, whose cost is scattered across every
+        chunk of a measurement batch and is timed at each materialization
+        site instead.
+        """
+        stats = self.phases.setdefault(name, PhaseStats())
+        stats.calls += calls
+        stats.seconds += seconds
+
     @property
     def runs_requested(self) -> int:
         """Total program runs asked of the runtime (hits + executions)."""

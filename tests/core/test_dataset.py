@@ -137,3 +137,36 @@ class TestSlicing:
     def test_restrict_landmarks_empty_rejected(self):
         with pytest.raises(ValueError):
             make_dataset().restrict_landmarks([])
+
+
+class TestWithoutInputs:
+    def test_no_inputs_returns_self(self):
+        dataset = make_dataset()
+        assert dataset.inputs is None
+        assert dataset.without_inputs() is dataset
+
+    def test_strips_inputs_and_shares_matrices(self):
+        dataset = make_dataset()
+        dataset.inputs = ["x"] * dataset.n_inputs
+        stripped = dataset.without_inputs()
+        assert stripped is not dataset
+        assert stripped.inputs is None
+        assert dataset.inputs is not None  # the original keeps its inputs
+        assert stripped.features is dataset.features
+        assert stripped.times is dataset.times
+
+    def test_memoized_identity(self):
+        dataset = make_dataset()
+        dataset.inputs = ["x"] * dataset.n_inputs
+        assert dataset.without_inputs() is dataset.without_inputs()
+
+    def test_lazy_source_subset_of_source(self):
+        from repro.core.inputs import GeneratedInputSource, InputSource
+
+        dataset = make_dataset()
+        dataset.inputs = GeneratedInputSource(
+            dataset.n_inputs, 0, lambda i, seed: i * 10
+        )
+        narrowed = dataset.subset([4, 2])
+        assert isinstance(narrowed.inputs, InputSource)
+        assert list(narrowed.inputs) == [40, 20]

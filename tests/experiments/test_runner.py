@@ -73,3 +73,40 @@ class TestRunExperiment:
         assert config.level1().n_clusters == 7
         assert config.level1().tuner_generations == 3
         assert config.level2().max_subsets == 5
+
+
+class TestMemoryKnobDefaults:
+    """The streaming/cap knobs and their environment overrides."""
+
+    def test_defaults(self, monkeypatch):
+        from repro.runtime import RunCache
+
+        monkeypatch.delenv("REPRO_CACHE_MAX_ENTRIES", raising=False)
+        monkeypatch.delenv("REPRO_STREAM_INPUTS", raising=False)
+        config = ExperimentConfig()
+        assert config.stream_inputs is True
+        assert config.cache_max_entries == RunCache.DEFAULT_MAX_ENTRIES
+        runtime = config.make_runtime()
+        try:
+            assert runtime.cache.max_entries == RunCache.DEFAULT_MAX_ENTRIES
+        finally:
+            runtime.close()
+
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MAX_ENTRIES", "512")
+        monkeypatch.setenv("REPRO_STREAM_INPUTS", "0")
+        config = ExperimentConfig()
+        assert config.cache_max_entries == 512
+        assert config.stream_inputs is False
+
+    def test_env_cap_zero_means_unbounded(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MAX_ENTRIES", "0")
+        assert ExperimentConfig().cache_max_entries is None
+
+    def test_env_cap_malformed_warns_and_defaults(self, monkeypatch):
+        from repro.runtime import RunCache
+
+        monkeypatch.setenv("REPRO_CACHE_MAX_ENTRIES", "lots")
+        with pytest.warns(UserWarning, match="REPRO_CACHE_MAX_ENTRIES"):
+            config = ExperimentConfig()
+        assert config.cache_max_entries == RunCache.DEFAULT_MAX_ENTRIES

@@ -410,3 +410,94 @@ class TestLegacyMigration:
         with pytest.warns(UserWarning, match="is a file"):
             assert cache.save() == 0
         assert os.path.isfile(path)
+
+
+class TestCappedCacheWithStore:
+    """Eviction-vs-persistence semantics: a capped cache backed by a sharded
+    store stays complete -- entries evicted from memory are re-read from
+    their shard on the next lookup instead of becoming permanent misses."""
+
+    def test_every_persisted_entry_reachable_despite_tiny_cap(self, tmp_path):
+        store = tmp_path / "cache"
+        keys = populated_store(store, n=64)
+        capped = RunCache(max_entries=4, persist_path=str(store))
+        capped.load()
+        # Two full passes: the first faults shards in and evicts most of
+        # them again; the second can only succeed via shard re-reads.
+        for _ in range(2):
+            for i, key in enumerate(keys):
+                found = capped.get(key)
+                assert found is not None and found.time == float(i)
+                assert len(capped) <= 4  # the cap holds throughout
+        assert capped.stats()["evictions"] > 0
+        assert capped.stats()["shard_rereads"] > 0
+
+    def test_reread_inserts_only_the_requested_key(self, tmp_path):
+        store = tmp_path / "cache"
+        keys = populated_store(store, n=64)
+        capped = RunCache(max_entries=4, persist_path=str(store))
+        capped.load()
+        for key in keys:
+            capped.get(key)
+        rereads_before = capped.shard_rereads
+        survivors = [key for key in keys if key in capped]
+        evicted = next(key for key in keys if key not in capped)
+        assert capped.get(evicted) is not None  # recovered from its shard
+        assert capped.shard_rereads == rereads_before + 1
+        # At most one pre-existing entry was displaced by the recovery.
+        assert sum(1 for key in survivors if key in capped) >= len(survivors) - 1
+
+    def test_uncapped_cache_never_rereads(self, tmp_path):
+        store = tmp_path / "cache"
+        keys = populated_store(store, n=64)
+        cache = RunCache(persist_path=str(store))
+        cache.load()
+        for key in keys:
+            assert cache.get(key) is not None
+        for key in keys:
+            assert cache.get(key) is not None
+        assert cache.stats().get("shard_rereads") is None
+        assert cache.shard_rereads == 0
+
+    def test_truly_absent_key_stays_a_miss(self, tmp_path):
+        store = tmp_path / "cache"
+        keys = populated_store(store, n=8)
+        capped = RunCache(max_entries=2, persist_path=str(store))
+        capped.load()
+        for key in keys:
+            capped.get(key)
+        assert capped.get("prog:nowhere") is None
+
+    def test_saved_then_evicted_entries_survive_on_disk(self, tmp_path):
+        """save() merges with the shard on disk, so entries that were saved
+        and later LRU-evicted are never dropped by a subsequent save."""
+        store = tmp_path / "cache"
+        cache = RunCache(max_entries=4, persist_path=str(store))
+        early = [f"early:{i}" for i in range(4)]
+        late = [f"late:{i}" for i in range(4)]
+        for i, key in enumerate(early):
+            cache.put(key, result(time=float(i)), has_output=False)
+        cache.save()
+        for i, key in enumerate(late):  # evicts every early entry
+            cache.put(key, result(time=100.0 + i), has_output=False)
+        assert all(key not in cache for key in early)
+        cache.save()
+        fresh = RunCache(persist_path=str(store))
+        assert fresh.load() == 8
+        for i, key in enumerate(early):
+            assert fresh.get(key).time == float(i)
+        for i, key in enumerate(late):
+            assert fresh.get(key).time == 100.0 + i
+
+    def test_evicted_before_any_save_is_lost_without_error(self, tmp_path):
+        """An entry evicted before its first save never reached disk; the
+        cache simply misses (the caller re-executes), it does not crash."""
+        store = tmp_path / "cache"
+        cache = RunCache(max_entries=2, persist_path=str(store))
+        for i in range(5):
+            cache.put(f"k{i}", result(time=float(i)), has_output=False)
+        cache.save()
+        fresh = RunCache(max_entries=2, persist_path=str(store))
+        fresh.load()
+        assert fresh.get("k4") is not None
+        assert fresh.get("k0") is None

@@ -32,6 +32,7 @@ def tiny_config(executor: str, **overrides) -> ExperimentConfig:
         executor=executor,
         workers=2,
         batch_chunk=None,
+        stream_inputs=False,
     )
     settings.update(overrides)
     return ExperimentConfig(**settings)
@@ -75,6 +76,122 @@ class TestExperimentStreamingDeterminism:
                 result.runtime_stats["telemetry"]["counters"][counter]
                 == unchunked_result.runtime_stats["telemetry"]["counters"][counter]
             )
+
+
+class TestStreamedInputDeterminism:
+    """A streamed ``InputSource`` must change nothing but peak memory.
+
+    The acceptance bar of the input-streaming work: a run fed a lazy input
+    source (``stream_inputs=True``) produces bit-identical
+    ``PerformanceDataset`` arrays and selector output to the
+    materialized-list path, on every executor, with and without chunking
+    and the LRU cache cap.
+    """
+
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_streamed_run_is_bit_identical(self, unchunked_result, executor):
+        result = run_experiment(
+            "sort1", tiny_config(executor, stream_inputs=True, batch_chunk=7)
+        )
+        assert "executor_fallback" not in result.runtime_stats
+        baseline_dataset = unchunked_result.training.dataset
+        dataset = result.training.dataset
+        for matrix in ("features", "extraction_costs", "times", "accuracies"):
+            np.testing.assert_array_equal(
+                getattr(dataset, matrix), getattr(baseline_dataset, matrix)
+            )
+        assert result.training.landmarks == unchunked_result.training.landmarks
+        assert (
+            result.training.production_classifier.name
+            == unchunked_result.training.production_classifier.name
+        )
+        for method in METHODS:
+            np.testing.assert_array_equal(
+                result.methods[method].times, unchunked_result.methods[method].times
+            )
+            assert result.satisfaction(method) == unchunked_result.satisfaction(method)
+
+    def test_streamed_run_with_capped_cache_is_bit_identical(self, unchunked_result):
+        result = run_experiment(
+            "sort1",
+            tiny_config(
+                "serial", stream_inputs=True, batch_chunk=5, cache_max_entries=16
+            ),
+        )
+        assert result.runtime_stats["cache"]["evictions"] > 0
+        for method in METHODS:
+            np.testing.assert_array_equal(
+                result.methods[method].times, unchunked_result.methods[method].times
+            )
+
+    def test_streamed_telemetry_attributes_generation(self):
+        """Streaming moves generation cost out of ``generate_inputs`` into a
+        per-materialization ``inputs.generate`` phase, and counts chunks."""
+        result = run_experiment(
+            "sort1", tiny_config("serial", stream_inputs=True, batch_chunk=7)
+        )
+        telemetry = result.runtime_stats["telemetry"]
+        assert "generate_inputs" not in telemetry["phases"]
+        generate = telemetry["phases"]["inputs.generate"]
+        assert generate["calls"] == telemetry["counters"]["inputs_generated"] > 0
+        assert telemetry["counters"]["chunks_dispatched"] > 0
+
+    def test_materialized_telemetry_keeps_legacy_phase(self, unchunked_result):
+        telemetry = unchunked_result.runtime_stats["telemetry"]
+        assert "generate_inputs" in telemetry["phases"]
+        assert "inputs_generated" not in telemetry["counters"]
+
+    def test_streamed_dataset_carries_lazy_source(self):
+        from repro.core.inputs import InputSource
+
+        result = run_experiment("sort1", tiny_config("serial", stream_inputs=True))
+        dataset = result.training.dataset
+        assert isinstance(dataset.inputs, InputSource)
+        # The source still behaves like the input list consumers expect.
+        assert len(dataset.inputs) == 24
+        assert dataset.subset([3, 1]).inputs is not None
+
+    def test_streamed_dataset_ships_to_workers_without_inputs(self):
+        """The view task batches share with executor workers must drop the
+        lazy source (its observer closure cannot cross a spawn boundary)
+        and must be identity-stable so the process pool is reused."""
+        import pickle
+
+        result = run_experiment("sort1", tiny_config("serial", stream_inputs=True))
+        dataset = result.training.dataset
+        shipped = dataset.without_inputs()
+        assert shipped.inputs is None
+        assert shipped is dataset.without_inputs()  # memoized
+        assert shipped.features is dataset.features  # matrices shared, not copied
+        pickle.dumps(shipped)  # the closure-bearing source never rides along
+
+    def test_measure_materializes_each_input_once(self):
+        """Input-major enumeration: a lazy source costs N materializations
+        per matrix, not N x K, chunked or not."""
+        from repro.benchmarks_suite.sort import generators
+        from repro.core.inputs import GeneratedInputSource
+
+        variant = get_benchmark("sort1")
+        program = variant.benchmark.program
+        calls = []
+
+        def tracked(index, seed):
+            calls.append(index)
+            return generators.real_world_item(index, seed)
+
+        import random
+
+        rng = random.Random(0)
+        configs = [program.default_configuration()] + [
+            program.config_space.sample(rng) for _ in range(2)
+        ]
+        for chunk in (None, 4):
+            calls.clear()
+            measured = Runtime(batch_chunk=chunk).measure(
+                program, configs, GeneratedInputSource(6, 0, tracked)
+            )
+            assert measured["times"].shape == (6, 3)
+            assert calls == list(range(6))
 
 
 class TestLevel2StreamingDeterminism:
