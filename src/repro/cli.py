@@ -26,6 +26,7 @@ from repro.experiments.runner import (
     ExperimentConfig,
     _env_batch_chunk,
     _env_cache_max_entries,
+    _env_dist_workers,
     _env_stream_inputs,
     run_experiment,
 )
@@ -43,6 +44,7 @@ def _experiment_config(args: argparse.Namespace) -> ExperimentConfig:
         seed=args.seed,
         executor=args.executor,
         workers=args.workers,
+        dist_workers=args.dist_workers,
         use_cache=not args.no_cache,
         cache_path=args.cache_path,
         batch_chunk=args.batch_chunk,
@@ -67,6 +69,14 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=None,
         help="worker count for thread/process executors (default: CPU count)",
+    )
+    parser.add_argument(
+        "--dist-workers",
+        type=int,
+        default=_env_dist_workers(),
+        help="locally spawned worker processes for --executor distributed "
+        "(default: CPU count; 0 relies on externally attached "
+        "'python -m repro.worker' processes)",
     )
     parser.add_argument(
         "--no-cache",
@@ -129,6 +139,15 @@ def _print_runtime_stats(args: argparse.Namespace, stats: dict) -> None:
             f"  cache: {cache['entries']} entries, "
             f"{cache['hits']} hits, {cache['misses']} misses{extras}"
         )
+    distributed = stats.get("distributed")
+    if distributed:
+        print(
+            f"  distributed: {distributed.get('leases_issued', 0)} leases issued, "
+            f"{distributed.get('leases_reassigned', 0)} reassigned, "
+            f"{distributed.get('worker_deaths', 0)} worker death(s), "
+            f"{distributed.get('workers_spawned', 0)} spawned, "
+            f"{distributed.get('workers_attached', 0)} attached"
+        )
     telemetry = stats.get("telemetry", {})
     counters = telemetry.get("counters", {})
     print(
@@ -141,6 +160,11 @@ def _print_runtime_stats(args: argparse.Namespace, stats: dict) -> None:
             f"  tasks: {counters.get('tasks_requested', 0)} requested, "
             f"{counters.get('tasks_executed', 0)} executed, "
             f"{counters.get('task_cache_hits', 0)} cache hits"
+        )
+    if counters.get("worker_cache_hits"):
+        print(
+            f"  worker caches: {counters['worker_cache_hits']} hit(s) on "
+            "distributed workers"
         )
     if counters.get("chunks_dispatched"):
         print(f"  streaming: {counters['chunks_dispatched']} chunk(s) dispatched")

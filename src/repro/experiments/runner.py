@@ -44,6 +44,12 @@ def _env_workers() -> Optional[int]:
     return int(value) if value else None
 
 
+def _env_dist_workers() -> Optional[int]:
+    """``REPRO_DIST_WORKERS``: local worker count for the distributed executor."""
+    value = os.environ.get("REPRO_DIST_WORKERS")
+    return int(value) if value else None
+
+
 def _env_batch_chunk() -> Optional[int]:
     """``REPRO_BATCH_CHUNK`` as an int, or None when unset/unusable.
 
@@ -94,8 +100,10 @@ class ExperimentConfig:
     to approach the paper's scale (50-60k inputs, 100 landmarks).
 
     Execution knobs (see ``repro.runtime``): ``executor`` picks the run
-    strategy (``serial`` -- the bit-identical default -- ``thread``, or
-    ``process``; overridable via the ``REPRO_EXECUTOR`` / ``REPRO_WORKERS``
+    strategy (``serial`` -- the bit-identical default -- ``thread``,
+    ``process``, or ``distributed``, which leases content-keyed chunks to
+    socket-attached worker processes; overridable via the
+    ``REPRO_EXECUTOR`` / ``REPRO_WORKERS`` / ``REPRO_DIST_WORKERS``
     environment variables), ``use_cache`` deduplicates identical runs within
     and across pipeline stages, and ``cache_path`` persists measurements to
     a sharded on-disk store shared by later runs.  The executor carries
@@ -132,6 +140,7 @@ class ExperimentConfig:
     max_subsets: int = 192
     executor: str = field(default_factory=_env_executor)
     workers: Optional[int] = field(default_factory=_env_workers)
+    dist_workers: Optional[int] = field(default_factory=_env_dist_workers)
     use_cache: bool = True
     cache_path: Optional[str] = None
     batch_chunk: Optional[int] = field(default_factory=_env_batch_chunk)
@@ -139,10 +148,19 @@ class ExperimentConfig:
     stream_inputs: bool = field(default_factory=_env_stream_inputs)
 
     def make_runtime(self) -> Runtime:
-        """Build the measurement runtime these knobs describe."""
+        """Build the measurement runtime these knobs describe.
+
+        For the ``distributed`` executor, ``dist_workers``
+        (``--dist-workers`` / ``REPRO_DIST_WORKERS``) names the count of
+        locally spawned lease workers; other executors keep using
+        ``workers``.
+        """
+        workers = self.workers
+        if self.executor.partition(":")[0].strip().lower() == "distributed":
+            workers = self.dist_workers if self.dist_workers is not None else workers
         return Runtime.create(
             executor=self.executor,
-            workers=self.workers,
+            workers=workers,
             use_cache=self.use_cache,
             max_entries=self.cache_max_entries,
             cache_path=self.cache_path,

@@ -132,7 +132,15 @@ def _record_result(record: Dict[str, Any]) -> RunResult:
 
 
 def _atomic_write_json(target: str, payload: Any) -> None:
-    """Write ``payload`` as UTF-8 JSON via temp file + rename."""
+    """Write ``payload`` as UTF-8 JSON via temp file + rename.
+
+    Any failure -- a mid-``json.dump`` serialization error included -- removes
+    the temp file before the original exception re-raises, so a failed save
+    never litters the shard directory with orphaned ``*.tmp`` files.  Cleanup
+    itself is exception-safe: an unlink error (the temp file already swept by
+    another process, say) is suppressed rather than allowed to mask what
+    actually went wrong.
+    """
     directory = os.path.dirname(os.path.abspath(target))
     os.makedirs(directory, exist_ok=True)
     fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
@@ -141,8 +149,10 @@ def _atomic_write_json(target: str, payload: Any) -> None:
             json.dump(payload, handle)
         os.replace(tmp_path, target)
     except BaseException:
-        if os.path.exists(tmp_path):
+        try:
             os.unlink(tmp_path)
+        except OSError:
+            pass
         raise
 
 

@@ -88,16 +88,23 @@ def _call_chunksize(n_calls: int, workers: int) -> int:
     """Chunk size for ``pool.map`` over a generic call batch.
 
     Large batches target four chunks per worker (load balancing); small
-    batches (fewer than ``workers * 4`` calls) target one chunk per worker
+    batches (at most ``workers * 4`` calls) target one chunk per worker
     instead of degenerating to chunksize 1, which would re-pickle any
     shared chunk content once per call.
+
+    The small-batch size is ``n_calls // workers`` (floored, min 1), never
+    ``ceil``: rounding the chunk *size* up rounds the chunk *count* down,
+    and a batch like 5 calls on 4 workers would ship as 3 chunks of 2 --
+    stranding a worker idle while another queues two chunks.  Flooring
+    guarantees at least ``min(n_calls, workers)`` chunks, so every worker
+    gets one chunk before any worker gets a second.
     """
     if n_calls <= 0:
         return 1
     target_chunks = workers * 4
-    if n_calls <= target_chunks:
-        target_chunks = workers
-    return max(1, math.ceil(n_calls / target_chunks))
+    if n_calls > target_chunks:
+        return max(1, math.ceil(n_calls / target_chunks))
+    return max(1, n_calls // max(1, workers))
 
 
 def _default_workers() -> int:
@@ -346,15 +353,29 @@ class ProcessExecutor(BaseExecutor):
         # pickle memo.  (Registry-shared arguments do even better: they ride
         # the pool initializer and cross once per pool.)
         chunksize = _call_chunksize(len(calls), self.workers)
-        try:
-            # Submission is eager: worker spawn (which, under a spawn start
-            # method, pickles the initializer's program/shared registry)
-            # happens here, so transport errors raised at this point are
-            # never a task's own exception...
-            result_iterator = pool.map(_invoke_call, calls, chunksize=chunksize)
-        except (pickle.PicklingError, TypeError, AttributeError) as error:
-            self.fallback_reason = f"call batch not picklable: {type(error).__name__}"
-            return SerialExecutor().run_calls(calls, shared=shared)
+        result_iterator = None
+        for retry in (False, True):
+            try:
+                # Submission is eager: worker spawn (which, under a spawn start
+                # method, pickles the initializer's program/shared registry)
+                # happens here, so transport errors raised at this point are
+                # never a task's own exception...
+                result_iterator = pool.map(_invoke_call, calls, chunksize=chunksize)
+            except (pickle.PicklingError, TypeError, AttributeError) as error:
+                self.fallback_reason = f"call batch not picklable: {type(error).__name__}"
+                return SerialExecutor().run_calls(calls, shared=shared)
+            except concurrent.futures.process.BrokenProcessPool as error:
+                # A worker died since the last batch and the pool object is
+                # permanently broken.  Tear it down and rebuild once -- the
+                # rebuild re-registers the shared-argument initializer -- so
+                # one dead worker costs a respawn, not every later batch.
+                self._shutdown_pool()
+                if retry:
+                    self.fallback_reason = f"process pool broke: {error}"
+                    return SerialExecutor().run_calls(calls, shared=shared)
+                pool = self._calls_pool(shared)
+                continue
+            break
         try:
             # ...whereas during result iteration only a genuine
             # PicklingError is transport: a task-raised TypeError must
@@ -381,15 +402,26 @@ class ProcessExecutor(BaseExecutor):
         except Exception as error:
             self.fallback_reason = f"task not picklable: {type(error).__name__}"
             return SerialExecutor().run_batch(program, tasks)
-        try:
-            return list(pool.map(_process_worker_run, tasks))
-        except (pickle.PicklingError, TypeError, AttributeError) as error:
-            self.fallback_reason = f"batch not picklable: {type(error).__name__}"
-            return SerialExecutor().run_batch(program, tasks)
-        except concurrent.futures.process.BrokenProcessPool as error:
-            self.fallback_reason = f"process pool broke: {error}"
-            self._shutdown_pool()
-            return SerialExecutor().run_batch(program, tasks)
+        for retry in (False, True):
+            try:
+                return list(pool.map(_process_worker_run, tasks))
+            except (pickle.PicklingError, TypeError, AttributeError) as error:
+                self.fallback_reason = f"batch not picklable: {type(error).__name__}"
+                return SerialExecutor().run_batch(program, tasks)
+            except concurrent.futures.process.BrokenProcessPool as error:
+                self.fallback_reason = f"process pool broke: {error}"
+                self._shutdown_pool()
+                if retry:
+                    return SerialExecutor().run_batch(program, tasks)
+                # A break at submission time (worker died between batches)
+                # leaves the tasks unexecuted: rebuild the pool -- with the
+                # program initializer re-registered -- and resubmit once.
+                # A break *during* execution re-runs the batch too; runs are
+                # pure functions of their tasks, so re-execution is sound.
+                pool = self._pool_for(program)
+                if pool is None:
+                    return SerialExecutor().run_batch(program, tasks)
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def _shutdown_pool(self) -> None:
         if self._pool is not None:
@@ -405,20 +437,29 @@ class ProcessExecutor(BaseExecutor):
         return f"ProcessExecutor(workers={self.workers})"
 
 
+def _make_distributed(workers: Optional[int] = None) -> BaseExecutor:
+    """Factory for the distributed executor (imported lazily: no cycle)."""
+    from repro.runtime.distributed import DistributedExecutor
+
+    return DistributedExecutor(workers=workers)
+
+
 #: Registered executor strategies, keyed by flag value.
 EXECUTORS = {
     "serial": SerialExecutor,
     "thread": ThreadExecutor,
     "process": ProcessExecutor,
+    "distributed": _make_distributed,
 }
 
 
 def get_executor(spec: str = "serial", workers: Optional[int] = None) -> BaseExecutor:
     """Build an executor from a flag value.
 
-    Accepts ``"serial"``, ``"thread"``, ``"process"``, optionally suffixed
-    with a worker count as ``"thread:4"`` / ``"process:8"`` (an explicit
-    ``workers`` argument wins over the suffix).
+    Accepts ``"serial"``, ``"thread"``, ``"process"``, ``"distributed"``,
+    optionally suffixed with a worker count as ``"thread:4"`` /
+    ``"process:8"`` / ``"distributed:2"`` (an explicit ``workers`` argument
+    wins over the suffix).
     """
     name, _, suffix = spec.partition(":")
     name = name.strip().lower() or "serial"

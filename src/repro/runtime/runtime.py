@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import contextlib
 import itertools
+import pickle
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
 
 import numpy as np
@@ -362,6 +363,8 @@ class Runtime:
         O(N x K) allocation.  Runs are pure functions of their content, so
         enumeration order never affects any value in the matrices.
         """
+        if self._rows_distributable(program, configs, inputs):
+            return self._measure_via_descriptors(program, configs, inputs)
         n, k = len(inputs), len(configs)
         pairs = (
             (config, program_input) for program_input in inputs for config in configs
@@ -372,6 +375,86 @@ class Runtime:
             i, j = divmod(flat, k)
             times[i, j] = result.time
             accuracies[i, j] = result.accuracy
+        return {"times": times, "accuracies": accuracies}
+
+    def _rows_distributable(
+        self, program: PetaBricksProgram, configs: Sequence[Configuration], inputs: Any
+    ) -> bool:
+        """Can this measure call ship row descriptors instead of inputs?
+
+        Requires an executor exposing ``run_rows`` (the distributed one), an
+        input *source* (lazy, known length, per-index materialization -- a
+        plain list would force materializing everything just to ship it),
+        and a picklable ``(program, configs, source)`` triple.  Anything
+        else falls back to the ordinary streamed pair path, which is always
+        correct.
+        """
+        if not getattr(self.executor, "supports_input_sources", False):
+            return False
+        if not hasattr(self.executor, "run_rows"):
+            return False
+        if not (hasattr(inputs, "materialize") and hasattr(inputs, "__len__")):
+            return False
+        if len(inputs) == 0 or len(configs) == 0:
+            return False
+        try:
+            pickle.dumps((program, list(configs), inputs))
+        except Exception:
+            return False
+        return True
+
+    def _measure_via_descriptors(
+        self,
+        program: PetaBricksProgram,
+        configs: Sequence[Configuration],
+        source: Any,
+    ) -> Dict[str, np.ndarray]:
+        """Distributed measure: lease (start, stop) row ranges of a source.
+
+        Workers rebuild their input rows from the (few-hundred-byte) source
+        descriptor, execute through their local caches, and return
+        ``(run_key, time, accuracy, extra)`` entries in row-major order; the
+        entries are folded into the matrices *by lease index* -- content
+        order, independent of which worker answered when -- and into this
+        runtime's cache, so a later ``save_cache`` persists work done on
+        every worker.  Values are bit-identical to the serial path because
+        runs are pure functions of their content.
+        """
+        n, k = len(source), len(configs)
+        rows_per_lease = max(1, (self.batch_chunk or 0) // k) if self.batch_chunk else 0
+        if not rows_per_lease:
+            workers = max(1, getattr(self.executor, "workers", 1))
+            rows_per_lease = max(1, -(-n // (workers * 4)))
+        ranges = [
+            (start, min(start + rows_per_lease, n))
+            for start in range(0, n, rows_per_lease)
+        ]
+        self.telemetry.count("runs_requested", n * k)
+        with self.telemetry.phase("measure.distributed"):
+            leased = self.executor.run_rows(program, configs, source, ranges)
+        times = np.zeros((n, k))
+        accuracies = np.zeros((n, k))
+        worker_hits = 0
+        for (start, _stop), block in zip(ranges, leased):
+            worker_hits += int(block.get("cache_hits", 0))
+            for offset, (key, seconds, accuracy, extra) in enumerate(block["entries"]):
+                i, j = divmod(offset, k)
+                times[start + i, j] = seconds
+                accuracies[start + i, j] = accuracy
+                if self.cache is not None and key not in self.cache:
+                    self.cache.put(
+                        key,
+                        RunResult(
+                            output=None,
+                            time=float(seconds),
+                            accuracy=float(accuracy),
+                            extra=dict(extra),
+                        ),
+                        has_output=False,
+                    )
+        self.telemetry.count("runs_executed", n * k - worker_hits)
+        if worker_hits:
+            self.telemetry.count("worker_cache_hits", worker_hits)
         return {"times": times, "accuracies": accuracies}
 
     # -- management -----------------------------------------------------
@@ -391,6 +474,9 @@ class Runtime:
         fallback = getattr(self.executor, "fallback_reason", None)
         if fallback:
             info["executor_fallback"] = fallback
+        lease_stats = getattr(self.executor, "lease_stats", None)
+        if lease_stats:
+            info["distributed"] = dict(lease_stats)
         if self.cache is not None:
             info["cache"] = self.cache.stats()
         if self.task_cache is not None:

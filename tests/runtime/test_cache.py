@@ -501,3 +501,129 @@ class TestCappedCacheWithStore:
         fresh.load()
         assert fresh.get("k4") is not None
         assert fresh.get("k0") is None
+
+
+class TestAtomicWriteCleanup:
+    """Satellite fix: a failing save must not litter temp files or mask errors."""
+
+    def _tmp_files(self, directory):
+        return glob.glob(os.path.join(str(directory), "**", "*.tmp"), recursive=True)
+
+    def test_failing_serialize_leaves_no_temp_files(self, tmp_path):
+        from repro.runtime.cache import _atomic_write_json
+
+        target = tmp_path / "store" / "shard.json"
+        with pytest.raises(TypeError):
+            _atomic_write_json(str(target), {"bad": {1, 2, 3}})  # sets are not JSON
+        assert self._tmp_files(tmp_path) == []
+        assert not target.exists()
+
+    def test_failing_save_through_cache_leaves_no_temp_files(self, tmp_path):
+        store = tmp_path / "cache"
+        cache = RunCache(persist_path=str(store))
+        # An extra that json.dump accepts per-key probing but that explodes
+        # mid-dump is hard to build; an unserializable *extra* is filtered,
+        # so break serialization at the payload level instead: non-float
+        # time objects raise inside json.dump.
+        cache.put("k", result(time=float("nan")), has_output=False)
+        cache._store["k"].result = RunResult(
+            output=None, time={1, 2}, accuracy=1.0, extra={}
+        )
+        with pytest.raises(TypeError):
+            cache.save()
+        assert self._tmp_files(tmp_path) == []
+
+    def test_unlink_failure_does_not_mask_original_error(self, tmp_path, monkeypatch):
+        from repro.runtime import cache as cache_module
+
+        def raising_unlink(_path):
+            raise OSError("swept by another process")
+
+        monkeypatch.setattr(cache_module.os, "unlink", raising_unlink)
+        target = tmp_path / "store" / "shard.json"
+        # The original serialization error must surface, not the unlink OSError.
+        with pytest.raises(TypeError):
+            cache_module._atomic_write_json(str(target), {"bad": {1, 2, 3}})
+
+    def test_interrupt_during_write_cleans_up_and_reraises(self, tmp_path, monkeypatch):
+        """BaseExceptions (KeyboardInterrupt) also clean up, then re-raise."""
+        from repro.runtime import cache as cache_module
+
+        def interrupted_dump(_payload, _handle):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cache_module.json, "dump", interrupted_dump)
+        target = tmp_path / "store" / "shard.json"
+        with pytest.raises(KeyboardInterrupt):
+            cache_module._atomic_write_json(str(target), {"fine": 1})
+        assert self._tmp_files(tmp_path) == []
+
+
+class TestCappedConcurrentStores:
+    """Satellite coverage: capped LRU caches sharing one store via union-merge."""
+
+    def test_two_capped_caches_union_merge_with_evictions(self, tmp_path):
+        """Both writers evict most entries before saving; the store must
+        still end up holding the union of everything each one persisted."""
+        store = tmp_path / "cache"
+        first = RunCache(max_entries=4, persist_path=str(store))
+        second = RunCache(max_entries=4, persist_path=str(store))
+        for i in range(12):
+            first.put(f"first:{i}", result(time=float(i)), has_output=False)
+            first.save()  # persist before the cap can evict this entry
+            second.put(f"second:{i}", result(time=float(100 + i)), has_output=False)
+            second.save()
+        assert first.stats()["evictions"] > 0
+        assert second.stats()["evictions"] > 0
+        fresh = RunCache(persist_path=str(store))
+        fresh.load()
+        for i in range(12):
+            assert fresh.get(f"first:{i}").time == float(i)
+            assert fresh.get(f"second:{i}").time == float(100 + i)
+
+    def test_capped_reader_sees_other_writers_entries_via_rereads(self, tmp_path):
+        """A capped cache attached to a store another cache keeps extending
+        recovers both its own evicted entries and the foreign ones, and
+        shard_rereads counts exactly the recoveries from seen shards."""
+        store = tmp_path / "cache"
+        keys = populated_store(store, n=32)
+        reader = RunCache(max_entries=2, persist_path=str(store))
+        reader.load()
+        for key in keys:  # faults every shard in; cap evicts almost all
+            assert reader.get(key) is not None
+        writer = RunCache(persist_path=str(store))
+        writer.load()
+        writer.put("other:new", result(time=555.0), has_output=False)
+        writer.save()
+        rereads_before = reader.shard_rereads
+        # Every persisted key is still reachable from the tiny reader.
+        recovered = 0
+        for key in keys:
+            in_memory = key in reader
+            assert reader.get(key) is not None
+            if not in_memory:
+                recovered += 1
+        assert recovered > 0
+        assert reader.shard_rereads == rereads_before + recovered
+        assert reader.stats()["shard_rereads"] == reader.shard_rereads
+
+    def test_shard_rereads_stat_accurate_after_evictions(self, tmp_path):
+        """stats()['shard_rereads'] equals the number of evicted-entry
+        recoveries -- no drift from plain hits, cold misses, or faults."""
+        store = tmp_path / "cache"
+        keys = populated_store(store, n=16)
+        capped = RunCache(max_entries=3, persist_path=str(store))
+        capped.load()
+        for key in keys:
+            capped.get(key)  # pass 1: shard faults, no rereads yet... unless
+        first_pass = capped.shard_rereads  # ...a fault's own shard evicted it
+        expected = first_pass
+        for key in keys:  # pass 2: only in-memory survivors avoid a re-read
+            if key not in capped:
+                expected += 1
+            assert capped.get(key) is not None
+        assert capped.shard_rereads == expected
+        assert capped.stats()["shard_rereads"] == expected
+        # Cold misses never count as re-reads.
+        assert capped.get("prog:absent") is None
+        assert capped.shard_rereads == expected

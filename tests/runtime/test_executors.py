@@ -120,6 +120,64 @@ def _scaled_sum(values, factor):
     return float(sum(values)) * factor
 
 
+def _kill_pid(pid):
+    """SIGKILL a process (module-level so pools can ship it)."""
+    import os
+    import signal
+
+    os.kill(pid, signal.SIGKILL)
+
+
+class TestProcessPoolRecovery:
+    """Satellite fix: a broken pool is torn down and rebuilt, not kept.
+
+    A worker that dies while the pool is idle leaves the
+    ``ProcessPoolExecutor`` permanently broken; the next submission raises
+    ``BrokenProcessPool``.  Before the fix that exception escaped (or the
+    dead pool object was reused forever); now the executor rebuilds the
+    pool -- re-registering the program / shared-argument initializers --
+    and the batch succeeds.
+    """
+
+    def _kill_one_worker(self, executor):
+        pool = executor._pool
+        assert pool is not None
+        victim = next(iter(pool._processes.values()))
+        _kill_pid(victim.pid)
+        victim.join(timeout=10)
+        assert not victim.is_alive()
+
+    def test_run_batch_survives_worker_killed_between_batches(self, sort_setup):
+        program, tasks = sort_setup
+        expected = reference_results(program, tasks)
+        with ProcessExecutor(workers=2) as executor:
+            executor.run_batch(program, tasks[:3])
+            broken_pool = executor._pool
+            self._kill_one_worker(executor)
+            results = executor.run_batch(program, tasks)
+            assert [r.time for r in results] == [r.time for r in expected]
+            assert [r.accuracy for r in results] == [r.accuracy for r in expected]
+            # The dead pool must not be the one serving later batches.
+            assert executor._pool is not broken_pool
+            follow_up = executor.run_batch(program, tasks[:3])
+            assert [r.time for r in follow_up] == [r.time for r in expected[:3]]
+
+    def test_run_calls_rebuild_reregisters_shared_initializer(self):
+        shared = {"payload": list(range(50))}
+        calls = [
+            (_scaled_sum, (SharedRef("payload"), float(f)), {}) for f in range(1, 4)
+        ]
+        expected = [float(sum(range(50))) * f for f in range(1, 4)]
+        with ProcessExecutor(workers=2) as executor:
+            assert executor.run_calls(calls, shared=shared) == expected
+            broken_pool = executor._pool
+            self._kill_one_worker(executor)
+            # The rebuilt pool's workers must hold the shared registry again
+            # (the initializer is re-registered), or refs would not resolve.
+            assert executor.run_calls(calls, shared=shared) == expected
+            assert executor._pool is not broken_pool
+
+
 class TestSharedArgs:
     """SharedRef arguments resolve identically on every executor."""
 
@@ -190,8 +248,9 @@ class TestCallChunksize:
     def test_small_batch_floors_at_one_chunk_per_worker(self):
         # 8 calls on 4 workers: previously chunksize 1 (8 chunks); now 2.
         assert _call_chunksize(8, 4) == 2
-        # 20 calls on 8 workers: previously 1 (20 chunks); now 3 (7 chunks).
-        assert _call_chunksize(20, 8) == 3
+        # 20 calls on 8 workers: ceiling the size would give 3 (7 chunks,
+        # one worker stranded idle); flooring gives 2 (10 chunks).
+        assert _call_chunksize(20, 8) == 2
 
     def test_large_batch_targets_four_chunks_per_worker(self):
         assert _call_chunksize(1000, 4) == 63  # ceil(1000 / 16)
@@ -214,12 +273,38 @@ class TestCallChunksize:
                 size = _call_chunksize(n_calls, workers)
                 assert 1 <= size <= n_calls
 
+    def test_no_worker_stranded_before_another_queues_two(self):
+        """Satellite fix: chunk count >= min(n_calls, workers) on the grid.
+
+        Fewer chunks than workers means some worker never receives a chunk
+        while another queues two -- the stranding bug.  The property must
+        hold across the whole (n_calls, workers) grid, large batches
+        included.
+        """
+        for n_calls in range(0, 130):
+            for workers in (1, 2, 3, 4, 5, 7, 8, 12, 16):
+                size = _call_chunksize(n_calls, workers)
+                assert size >= 1
+                if n_calls == 0:
+                    continue
+                n_chunks = -(-n_calls // size)
+                assert n_chunks >= min(n_calls, workers), (
+                    f"n_calls={n_calls} workers={workers} chunksize={size} "
+                    f"-> only {n_chunks} chunk(s)"
+                )
+
 
 class TestGetExecutor:
     def test_names(self):
+        from repro.runtime import DistributedExecutor
+
         assert isinstance(get_executor("serial"), SerialExecutor)
         assert isinstance(get_executor("thread"), ThreadExecutor)
         assert isinstance(get_executor("process"), ProcessExecutor)
+        distributed = get_executor("distributed:2")
+        assert isinstance(distributed, DistributedExecutor)
+        assert distributed.workers == 2
+        distributed.close()  # never started; must be a no-op
 
     def test_worker_suffix(self):
         executor = get_executor("thread:3")
