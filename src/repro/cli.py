@@ -251,6 +251,43 @@ def cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Train the requested tests and serve their selectors over TCP."""
+    import asyncio
+
+    from repro.serving import SelectorServer, ServingConfig
+
+    tests = args.tests or ["sort2"]
+    unknown = [test for test in tests if test not in registry()]
+    if unknown:
+        print(f"unknown tests: {unknown}", file=sys.stderr)
+        return 2
+    server = SelectorServer(
+        config=ServingConfig(
+            host=args.host,
+            port=args.port,
+            max_pending=args.max_pending,
+            execution_workers=args.execution_workers,
+        )
+    )
+    for test in tests:
+        print(f"# training {test} ...")
+        result = run_experiment(test, config=_experiment_config(args))
+        entry = server.publish(test, result.training.deployed)
+        print(f"# {test}: model v{entry.version} published")
+
+    async def _serve() -> None:
+        host, port = await server.start()
+        print(f"serving {len(tests)} model(s) on {host}:{port}", flush=True)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("\ninterrupted; shutting down")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
@@ -270,6 +307,27 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("test")
     _add_scale_arguments(train)
     train.set_defaults(func=cmd_train)
+
+    serve = subparsers.add_parser(
+        "serve", help="train selectors and serve them over TCP (see docs/serving.md)"
+    )
+    serve.add_argument("--tests", nargs="*", default=None, help="tests to serve (default: sort2)")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=7415, help="bind port (0 = ephemeral)")
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        help="admission cap on distinct in-flight executions (503 beyond it)",
+    )
+    serve.add_argument(
+        "--execution-workers",
+        type=int,
+        default=1,
+        help="thread-pool width for program executions",
+    )
+    _add_scale_arguments(serve)
+    serve.set_defaults(func=cmd_serve)
     return parser
 
 

@@ -28,6 +28,18 @@ from repro.ml.crossval import train_test_split
 from repro.runtime import Runtime, default_runtime
 
 
+class LandmarkMismatchError(ValueError):
+    """The classifier's label is irreconcilable with the landmark set.
+
+    Raised when a deployed classifier predicts a label so far outside the
+    landmark range (``label >= 2 * len(landmarks)``, or below
+    ``-len(landmarks)``) that it cannot be a rounding artifact: the
+    classifier was almost certainly trained against a different landmark
+    set than the one deployed, and silently clamping would route every such
+    input to an arbitrary landmark.
+    """
+
+
 @dataclass
 class DeploymentOutcome:
     """Result of running one input through a deployed program.
@@ -37,6 +49,9 @@ class DeploymentOutcome:
         configuration: the landmark configuration that was selected.
         landmark_index: its index in the landmark list.
         feature_extraction_cost: work spent probing the input's features.
+        cache_hit: True when the run was recalled from the run cache rather
+            than executed -- recall latency must not be mistaken for
+            execution time in serving statistics.
         total_time: execution time plus feature-extraction cost.
     """
 
@@ -44,6 +59,7 @@ class DeploymentOutcome:
     configuration: Configuration
     landmark_index: int
     feature_extraction_cost: float
+    cache_hit: bool = False
 
     @property
     def total_time(self) -> float:
@@ -67,10 +83,32 @@ class DeployedProgram:
         self.classifier = classifier
         self.runtime = runtime
 
+    def _telemetry(self):
+        runtime = self.runtime if self.runtime is not None else default_runtime()
+        return runtime.telemetry
+
     def select_configuration(self, program_input: Any) -> Tuple[Configuration, int, float]:
-        """Classify the input and return (configuration, index, extraction cost)."""
+        """Classify the input and return (configuration, index, extraction cost).
+
+        A label one-off the landmark range is clamped to the nearest
+        landmark (and counted under the ``selector_labels_clamped``
+        telemetry counter -- a healthy deployment should show zero).  A
+        label wildly outside the range means the classifier and landmark
+        set do not belong together, and raises
+        :class:`LandmarkMismatchError` instead of silently misrouting.
+        """
         label, cost = self.classifier.classify_input(program_input, self.program.features)
-        label = int(min(max(label, 0), len(self.landmarks) - 1))
+        label = int(label)
+        n = len(self.landmarks)
+        if label >= 2 * n or label <= -n:
+            raise LandmarkMismatchError(
+                f"classifier for {self.program.name!r} predicted label {label}, "
+                f"far outside the {n} deployed landmark(s); the classifier was "
+                "likely trained against a different landmark set"
+            )
+        if not 0 <= label < n:
+            self._telemetry().count("selector_labels_clamped")
+            label = min(max(label, 0), n - 1)
         return self.landmarks[label], label, cost
 
     def run(self, program_input: Any) -> DeploymentOutcome:
@@ -80,16 +118,21 @@ class DeployedProgram:
         repeated deployments of cached inputs are recalled rather than
         re-executed.  ``need_output=True`` guarantees the outcome carries the
         program's real output even when a persisted (measurement-only) cache
-        is in use.
+        is in use.  The outcome's ``cache_hit`` flag records whether the run
+        was a recall, so callers measuring deployment latency can separate
+        the two populations.
         """
         configuration, index, cost = self.select_configuration(program_input)
         runtime = self.runtime if self.runtime is not None else default_runtime()
-        result = runtime.run(self.program, configuration, program_input, need_output=True)
+        result, cache_hit = runtime.run_info(
+            self.program, configuration, program_input, need_output=True
+        )
         return DeploymentOutcome(
             result=result,
             configuration=configuration,
             landmark_index=index,
             feature_extraction_cost=cost,
+            cache_hit=cache_hit,
         )
 
 

@@ -154,6 +154,13 @@ class Coordinator:
         max_lease_retries: how many times one chunk may be *re*assigned
             before the batch fails -- the bound that keeps a chunk that
             reliably kills workers from cycling forever.
+        port: TCP port to listen on; 0 (default) picks an ephemeral port.
+            A fixed port is what lets external workers reconnect to a
+            *restarted* coordinator without rediscovering the address --
+            ``SO_REUSEADDR`` on the listener makes the rebind immediate
+            even while connections from the previous incarnation linger in
+            TIME_WAIT (see ``tests/runtime/test_distributed.py::
+            TestPortRebind``).
     """
 
     def __init__(
@@ -161,6 +168,7 @@ class Coordinator:
         workers: int = 0,
         lease_timeout: float = 60.0,
         max_lease_retries: int = 3,
+        port: int = 0,
     ) -> None:
         self.workers = max(0, int(workers))
         self.lease_timeout = float(lease_timeout)
@@ -174,8 +182,11 @@ class Coordinator:
             "batches_dispatched": 0,
         }
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        # Without SO_REUSEADDR a coordinator restarting on a fixed port
+        # would fail to bind while its previous incarnation's accepted
+        # connections sit in TIME_WAIT -- the restart path must be clean.
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        self._listener.bind(("127.0.0.1", 0))
+        self._listener.bind(("127.0.0.1", int(port)))
         self._listener.listen(64)
         self._listener.setblocking(False)
         self.address: Tuple[str, int] = self._listener.getsockname()
@@ -496,6 +507,10 @@ class DistributedExecutor(BaseExecutor):
             to rely solely on externally attached workers.
         lease_timeout: per-lease deadline in seconds.
         max_lease_retries: reassignment bound per chunk.
+        port: fixed coordinator port (0 = ephemeral); lets a restarted
+            executor rebind the same address for externally attached
+            workers, and lets a host budget its ports when a serving
+            process and a distributed executor run side by side.
 
     Attributes:
         fallback_reason: set when a batch had to run serially because its
@@ -518,10 +533,12 @@ class DistributedExecutor(BaseExecutor):
         workers: Optional[int] = None,
         lease_timeout: float = 60.0,
         max_lease_retries: int = 3,
+        port: int = 0,
     ) -> None:
         self.workers = _default_workers() if workers is None else max(0, int(workers))
         self.lease_timeout = lease_timeout
         self.max_lease_retries = max_lease_retries
+        self.port = int(port)
         self.fallback_reason: Optional[str] = None
         self._coordinator: Optional[Coordinator] = None
 
@@ -533,6 +550,7 @@ class DistributedExecutor(BaseExecutor):
                 workers=self.workers,
                 lease_timeout=self.lease_timeout,
                 max_lease_retries=self.max_lease_retries,
+                port=self.port,
             )
         return self._coordinator
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 import contextlib
 import itertools
 import pickle
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -134,23 +134,44 @@ class Runtime:
         cached, output-free result; deployment-style callers pass True and
         are guaranteed a result carrying the program's real output.
         """
+        result, _cache_hit = self.run_info(
+            program, config, program_input, need_output=need_output
+        )
+        return result
+
+    def run_info(
+        self,
+        program: PetaBricksProgram,
+        config: Configuration,
+        program_input: Any,
+        need_output: bool = False,
+    ) -> Tuple[RunResult, bool]:
+        """Like :meth:`run`, but also report whether the result was recalled.
+
+        Returns ``(result, cache_hit)``.  ``cache_hit`` is True only when
+        the result came straight from the run cache without executing the
+        program -- deployment callers (:class:`repro.core.pipeline.
+        DeployedProgram`, the serving layer) use it to keep recall latency
+        distinguishable from real execution in their statistics.  The
+        result is bit-identical either way; only the provenance differs.
+        """
         self.telemetry.count("runs_requested")
         if self.cache is None:
             self.telemetry.count("runs_executed")
-            return program.run(config, program_input)
+            return program.run(config, program_input), False
         key = run_key(program, config, program_input)
         cached = self.cache.get(key, need_output=need_output)
         if cached is not None:
             self.telemetry.count("cache_hits")
-            return cached
+            return cached, True
         self.telemetry.count("runs_executed")
         result = program.run(config, program_input)
         if need_output:
             self.cache.put(key, result, has_output=True)
-            return result
+            return result, False
         stripped = _strip_output(result)
         self.cache.put(key, stripped, has_output=False)
-        return stripped
+        return stripped, False
 
     def run_pairs(
         self, program: PetaBricksProgram, pairs: Iterable[Task]

@@ -1,0 +1,49 @@
+"""Deployment serving layer: the trained selector as a network service.
+
+Training (:mod:`repro.core.pipeline`) ends in a
+:class:`~repro.core.pipeline.DeployedProgram`; this package puts that
+artifact behind a TCP port.  :class:`~repro.serving.server.SelectorServer`
+is an asyncio newline-JSON server with request coalescing, bounded
+admission, and atomic model hot-swap; :mod:`~repro.serving.protocol`
+defines the wire format, :mod:`~repro.serving.registry` the versioned
+model store, :mod:`~repro.serving.client` the blocking client, and
+:mod:`~repro.serving.loadgen` the load/coalescing measurement harness.
+See ``docs/serving.md`` for the architecture and protocol walkthrough.
+"""
+
+from repro.serving.client import ServingClient
+from repro.serving.loadgen import build_trace, replay, run_load
+from repro.serving.protocol import (
+    SERVING_PROTOCOL_VERSION,
+    decode_message,
+    decode_output,
+    encode_message,
+    error_response,
+    index_input,
+    pickle_input,
+    run_request,
+    swap_request,
+)
+from repro.serving.registry import ModelEntry, ModelRegistry
+from repro.serving.server import SelectorServer, ServerThread, ServingConfig
+
+__all__ = [
+    "ModelEntry",
+    "ModelRegistry",
+    "SelectorServer",
+    "ServerThread",
+    "ServingClient",
+    "ServingConfig",
+    "SERVING_PROTOCOL_VERSION",
+    "build_trace",
+    "decode_message",
+    "decode_output",
+    "encode_message",
+    "error_response",
+    "index_input",
+    "pickle_input",
+    "replay",
+    "run_load",
+    "run_request",
+    "swap_request",
+]

@@ -1,0 +1,123 @@
+"""Wire protocol of the selector server: newline-delimited JSON frames.
+
+The serving layer speaks the same framing dialect as the distributed
+executor (:mod:`repro.runtime.distributed`): one JSON object per line over
+TCP, with Python payloads riding in base64-encoded-pickle fields.  Keeping
+the two protocols shaped alike means one set of debugging habits (and one
+``nc``-friendly wire format) covers both subsystems.
+
+Client -> server message types:
+
+* ``run``   -- classify one input and run the selected landmark program::
+
+      {"type": "run", "id": 7, "test": "sort2",
+       "input": {"encoding": "index", "index": 12, "seed": 999},
+       "want_output": false}
+
+  The ``input`` spec comes in two encodings.  ``"index"`` names input
+  ``index`` of the test's per-index seeded population (variant defaults to
+  the registered one) -- a few bytes on the wire however large the input
+  is, mirroring how the distributed executor ships row descriptors instead
+  of rows.  ``"pickle"`` carries the input itself in ``payload`` as a
+  base64 pickle.
+* ``swap``  -- atomically hot-swap the model serving ``test``; ``payload``
+  is a base64-pickled :class:`~repro.core.pipeline.DeployedProgram`.
+* ``stats`` -- request the server's telemetry/registry snapshot.
+* ``ping``  -- liveness probe.
+
+Server -> client responses: ``result`` (fields below), ``swapped``,
+``stats``, ``pong``, and ``error`` with an HTTP-flavoured ``code``
+(400 malformed, 404 unknown test, 500 execution failure, 503 rejected by
+admission control).  A ``result`` echoes the request ``id`` and carries
+``landmark`` (chosen index), ``time`` / ``accuracy`` (the run's cost-model
+measurements), ``feature_cost``, ``total_time``, ``cache_hit`` (recalled
+from the shared run cache, not executed), ``coalesced`` (piggybacked on an
+identical in-flight request), ``model_version`` (registry version that
+answered), and ``selection_seconds`` / ``execution_seconds`` (wall-clock
+telemetry split).  ``output`` (base64 pickle) appears only when the
+request set ``want_output``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from repro.runtime.distributed import decode_payload, encode_payload
+
+#: Serving protocol version, checked via ``ping``/``pong``; independent of
+#: the distributed executor's lease protocol version.
+SERVING_PROTOCOL_VERSION = 1
+
+#: ``error`` response codes (HTTP-flavoured, so dashboards read naturally).
+BAD_REQUEST = 400
+UNKNOWN_TEST = 404
+EXECUTION_FAILED = 500
+OVERLOADED = 503
+
+
+def encode_message(message: Dict[str, Any]) -> bytes:
+    """One wire frame: compact JSON plus the terminating newline."""
+    return json.dumps(message, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_message(line: bytes) -> Dict[str, Any]:
+    """Invert :func:`encode_message` for one received line.
+
+    Raises:
+        ValueError: if the line is not a JSON object.
+    """
+    message = json.loads(line.decode("utf-8"))
+    if not isinstance(message, dict):
+        raise ValueError("protocol messages must be JSON objects")
+    return message
+
+
+def index_input(index: int, seed: int = 0, variant: Optional[str] = None) -> Dict[str, Any]:
+    """An ``input`` spec naming input ``index`` of a per-index population."""
+    spec: Dict[str, Any] = {"encoding": "index", "index": int(index), "seed": int(seed)}
+    if variant is not None:
+        spec["variant"] = variant
+    return spec
+
+
+def pickle_input(program_input: Any) -> Dict[str, Any]:
+    """An ``input`` spec carrying the input object itself."""
+    return {"encoding": "pickle", "payload": encode_payload(program_input)}
+
+
+def run_request(
+    request_id: Any,
+    test: str,
+    input_spec: Dict[str, Any],
+    want_output: bool = False,
+) -> Dict[str, Any]:
+    """Build a ``run`` request frame."""
+    message: Dict[str, Any] = {
+        "type": "run",
+        "id": request_id,
+        "test": test,
+        "input": input_spec,
+    }
+    if want_output:
+        message["want_output"] = True
+    return message
+
+
+def swap_request(test: str, deployed: Any) -> Dict[str, Any]:
+    """Build a ``swap`` request frame carrying a pickled deployed program."""
+    return {"type": "swap", "test": test, "payload": encode_payload(deployed)}
+
+
+def error_response(code: int, error: str, request_id: Any = None) -> Dict[str, Any]:
+    """Build an ``error`` response frame."""
+    message: Dict[str, Any] = {"type": "error", "code": int(code), "error": error}
+    if request_id is not None:
+        message["id"] = request_id
+    return message
+
+
+def decode_output(response: Dict[str, Any]) -> Any:
+    """The program output carried by a ``result`` response (or None)."""
+    payload = response.get("output")
+    return decode_payload(payload) if payload is not None else None

@@ -1,0 +1,95 @@
+"""Per-benchmark model registry with atomic hot-swap.
+
+The serving layer keeps one :class:`~repro.core.pipeline.DeployedProgram`
+per test name.  Retraining (offline, or eventually online -- see the
+ROADMAP's adaptation item) produces a new deployed program that must
+replace the old one *atomically*: a request either sees the old model or
+the new one, never a half-swapped hybrid of one model's classifier and the
+other's landmarks.
+
+Atomicity comes from immutability: the registry stores frozen
+:class:`ModelEntry` snapshots (deployed program + monotonically increasing
+version) and swaps whole entries under a lock.  A request resolves its
+entry once, up front, and uses that snapshot for its entire lifetime --
+requests in flight across a swap finish on the model they started with,
+which is exactly the semantics a zero-downtime deployment wants.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.pipeline import DeployedProgram
+
+
+@dataclass(frozen=True)
+class ModelEntry:
+    """One immutable registry snapshot: a deployed program and its version."""
+
+    test: str
+    deployed: DeployedProgram
+    version: int
+
+
+class ModelRegistry:
+    """Thread-safe mapping of test name -> current :class:`ModelEntry`.
+
+    Versions start at 1 per test and increase by one per publish, so a
+    response can name exactly which model answered it and a hot-swap is
+    observable as a version step with no intermediate state.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: Dict[str, ModelEntry] = {}
+
+    def publish(self, test: str, deployed: DeployedProgram) -> ModelEntry:
+        """Atomically install ``deployed`` as the model serving ``test``.
+
+        Returns the new entry (version 1 for a first publish, previous + 1
+        for a hot-swap).
+        """
+        if not isinstance(deployed, DeployedProgram):
+            raise TypeError(
+                f"expected a DeployedProgram, got {type(deployed).__name__}"
+            )
+        with self._lock:
+            current = self._entries.get(test)
+            version = 1 if current is None else current.version + 1
+            entry = ModelEntry(test=test, deployed=deployed, version=version)
+            self._entries[test] = entry
+            return entry
+
+    def get(self, test: str) -> ModelEntry:
+        """The current entry for ``test``.
+
+        Raises:
+            KeyError: if no model has been published under that name.
+        """
+        with self._lock:
+            if test not in self._entries:
+                raise KeyError(
+                    f"no model published for test {test!r}; "
+                    f"available: {sorted(self._entries)}"
+                )
+            return self._entries[test]
+
+    def tests(self) -> List[str]:
+        """The test names with a published model, sorted."""
+        with self._lock:
+            return sorted(self._entries)
+
+    def versions(self) -> Dict[str, int]:
+        """Current version per published test (for stats responses)."""
+        with self._lock:
+            return {test: entry.version for test, entry in self._entries.items()}
+
+    def __contains__(self, test: str) -> bool:
+        with self._lock:
+            return test in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

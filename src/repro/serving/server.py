@@ -1,0 +1,547 @@
+"""The selector as a live service: an asyncio TCP server over DeployedProgram.
+
+The paper's end product is a cheap production-time classifier that picks
+the best algorithmic configuration per input.  :class:`SelectorServer`
+makes that artifact *serve*: clients send newline-JSON ``run`` requests
+(see :mod:`repro.serving.protocol`), the server classifies the input with
+the test's registered model, runs the selected landmark configuration
+through the shared measurement :class:`~repro.runtime.Runtime`, and
+answers with the outcome plus per-request telemetry.
+
+Three properties carry the load story:
+
+* **Request coalescing** -- identical in-flight inputs (same test, same
+  content-keyed input digest) share one execution: the first request
+  creates the job, duplicates await the same future and are answered from
+  it (``coalesced: true``).  Once a job finishes, its result lives in the
+  runtime's shared :class:`~repro.runtime.RunCache`, so later repeats are
+  recalls (``cache_hit: true``).  Between the two mechanisms, a trace with
+  any level of duplication executes each unique input at most once.
+* **Bounded admission** -- at most ``max_pending`` *distinct* executions
+  may be in flight; a request that would start one beyond the cap is
+  rejected immediately with a 503-style error instead of queueing without
+  bound.  Coalesced duplicates piggyback on admitted work (they add no
+  execution) and are therefore always accepted.
+* **Atomic hot-swap** -- models live in a :class:`~repro.serving.registry.
+  ModelRegistry`; a ``swap`` message (or :meth:`SelectorServer.publish`)
+  replaces a test's model atomically and bumps its version.  Requests in
+  flight finish on the model snapshot they resolved at admission.
+
+Executions run on a dedicated thread pool (default: one worker, which
+serializes program runs exactly like the serial executor) so the event
+loop stays responsive while the cost model grinds.  All counters and
+latency distributions go through the runtime's
+:class:`~repro.runtime.telemetry.Telemetry`, so ``stats`` responses and
+``Runtime.stats()`` tell one coherent story.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.pipeline import DeployedProgram, DeploymentOutcome
+from repro.runtime import RunCache, Runtime, SerialExecutor, input_key
+from repro.serving import protocol
+from repro.serving.protocol import (
+    SERVING_PROTOCOL_VERSION,
+    decode_message,
+    encode_message,
+    error_response,
+)
+from repro.serving.registry import ModelEntry, ModelRegistry
+
+
+@dataclass
+class ServingConfig:
+    """Knobs of one :class:`SelectorServer`.
+
+    Attributes:
+        host: bind address; loopback by default (same trust model as the
+            distributed executor -- payloads are pickles, so only expose
+            the port to peers you would hand a Python interpreter).
+        port: bind port; 0 picks an ephemeral port (read it back from
+            :attr:`SelectorServer.address`).
+        max_pending: admission cap on distinct in-flight executions; the
+            request that would start execution ``max_pending + 1`` is
+            rejected with a 503-style error.
+        execution_workers: thread-pool width for program runs.  The default
+            of 1 serializes executions (bit-identical to a sequential
+            ``DeployedProgram.run`` loop by construction); raising it
+            trades that simplicity for overlap, results staying identical
+            because runs are pure.
+        default_seed: population seed assumed by ``index`` input specs that
+            do not name one.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_pending: int = 64
+    execution_workers: int = 1
+    default_seed: int = 0
+
+
+class SelectorServer:
+    """Asyncio deployment server wrapping a :class:`ModelRegistry`.
+
+    Args:
+        registry: model registry to serve; a fresh empty one by default.
+        runtime: measurement runtime shared by every served model (the
+            coalescing/recall story needs one shared
+            :class:`~repro.runtime.RunCache`).  Defaults to a serial,
+            caching runtime.
+        config: serving knobs; defaults to :class:`ServingConfig`.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[ModelRegistry] = None,
+        runtime: Optional[Runtime] = None,
+        config: Optional[ServingConfig] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else ModelRegistry()
+        if runtime is None:
+            runtime = Runtime(
+                executor=SerialExecutor(),
+                cache=RunCache(max_entries=RunCache.DEFAULT_MAX_ENTRIES),
+            )
+        self.runtime = runtime
+        self.config = config if config is not None else ServingConfig()
+        if self.config.max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self.telemetry = runtime.telemetry
+        #: (test, input digest) -> in-flight execution task; the coalescing map.
+        self._inflight: Dict[Tuple[str, str], "asyncio.Task"] = {}
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, self.config.execution_workers),
+            thread_name_prefix="repro-serve",
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.address: Optional[Tuple[str, int]] = None
+
+    # -- model management ------------------------------------------------
+
+    def publish(self, test: str, deployed: DeployedProgram) -> ModelEntry:
+        """Install (or hot-swap) the model serving ``test``.
+
+        The deployed program is rebound to the *server's* runtime so every
+        model shares one run cache -- that sharing is what lets repeats of
+        an input recall across swaps and across tests sharing a program.
+        Safe to call from any thread while the server runs; requests in
+        flight finish on the entry they resolved.
+        """
+        rebound = DeployedProgram(
+            program=deployed.program,
+            landmarks=deployed.landmarks,
+            classifier=deployed.classifier,
+            runtime=self.runtime,
+        )
+        entry = self.registry.publish(test, rebound)
+        self.telemetry.count("serve_models_published")
+        return entry
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting connections; returns ``(host, port)``."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+            # Same restart-path requirement as Coordinator's listener: a
+            # serving process must rebind its fixed port immediately even
+            # while old connections linger in TIME_WAIT.
+            reuse_address=True,
+        )
+        self.address = self._server.sockets[0].getsockname()[:2]
+        return self.address
+
+    async def serve_forever(self) -> None:
+        """Start (if needed) and serve until cancelled or stopped."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    async def stop(self) -> None:
+        """Stop accepting connections and release the execution pool."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._inflight.values()):
+            task.cancel()
+        self._inflight.clear()
+        self._pool.shutdown(wait=True)
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        pending = set()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    message = decode_message(line)
+                except ValueError as error:
+                    await self._send(
+                        writer, write_lock,
+                        error_response(protocol.BAD_REQUEST, f"malformed frame: {error}"),
+                    )
+                    continue
+                kind = message.get("type")
+                if kind == "run":
+                    # One task per request: a slow execution must not stall
+                    # the connection's later (possibly coalescable) frames.
+                    task = asyncio.ensure_future(
+                        self._handle_run(message, writer, write_lock)
+                    )
+                    pending.add(task)
+                    task.add_done_callback(pending.discard)
+                elif kind == "swap":
+                    await self._handle_swap(message, writer, write_lock)
+                elif kind == "stats":
+                    await self._send(writer, write_lock, {"type": "stats", **self.stats()})
+                elif kind == "ping":
+                    await self._send(
+                        writer, write_lock,
+                        {"type": "pong", "protocol": SERVING_PROTOCOL_VERSION},
+                    )
+                else:
+                    await self._send(
+                        writer, write_lock,
+                        error_response(
+                            protocol.BAD_REQUEST,
+                            f"unknown message type {kind!r}",
+                            message.get("id"),
+                        ),
+                    )
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (OSError, asyncio.CancelledError):
+                pass
+
+    @staticmethod
+    async def _send(
+        writer: asyncio.StreamWriter, lock: asyncio.Lock, message: Dict[str, Any]
+    ) -> None:
+        try:
+            async with lock:
+                writer.write(encode_message(message))
+                await writer.drain()
+        except (ConnectionError, OSError):
+            # The client went away; its answer has nowhere to go.  The
+            # execution (if any) completes regardless and stays cached.
+            pass
+
+    # -- request handling --------------------------------------------------
+
+    async def _handle_run(
+        self,
+        message: Dict[str, Any],
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        request_id = message.get("id")
+        received = time.perf_counter()
+        self.telemetry.count("serve_requests")
+
+        test = message.get("test")
+        if not isinstance(test, str):
+            await self._reject(
+                writer, write_lock, protocol.BAD_REQUEST,
+                "run request carries no 'test' name", request_id,
+            )
+            return
+        try:
+            entry = self.registry.get(test)
+        except KeyError as error:
+            await self._reject(
+                writer, write_lock, protocol.UNKNOWN_TEST, str(error), request_id
+            )
+            return
+        try:
+            program_input = self._decode_input(test, message.get("input"))
+        except ValueError as error:
+            await self._reject(
+                writer, write_lock, protocol.BAD_REQUEST, str(error), request_id
+            )
+            return
+
+        key = (test, input_key(program_input))
+        job = self._inflight.get(key)
+        coalesced = job is not None
+        if job is None:
+            if len(self._inflight) >= self.config.max_pending:
+                self.telemetry.count("serve_rejected")
+                await self._reject(
+                    writer, write_lock, protocol.OVERLOADED,
+                    f"admission control: {len(self._inflight)} executions in "
+                    f"flight (cap {self.config.max_pending}); retry later",
+                    request_id,
+                )
+                return
+            job = asyncio.ensure_future(self._execute(key, entry, program_input))
+            self._inflight[key] = job
+        else:
+            self.telemetry.count("serve_coalesced")
+
+        try:
+            outcome, selection_seconds, execution_seconds = await job
+        except Exception as error:  # noqa: BLE001 - surface to the client
+            self.telemetry.count("serve_errors")
+            await self._reject(
+                writer, write_lock, protocol.EXECUTION_FAILED,
+                f"{type(error).__name__}: {error}", request_id,
+            )
+            return
+
+        response: Dict[str, Any] = {
+            "type": "result",
+            "id": request_id,
+            "test": test,
+            "landmark": outcome.landmark_index,
+            "time": outcome.result.time,
+            "accuracy": outcome.result.accuracy,
+            "feature_cost": outcome.feature_extraction_cost,
+            "total_time": outcome.total_time,
+            "cache_hit": outcome.cache_hit,
+            "coalesced": coalesced,
+            "model_version": entry.version,
+            "selection_seconds": selection_seconds,
+            "execution_seconds": execution_seconds,
+        }
+        if message.get("want_output"):
+            response["output"] = protocol.encode_payload(outcome.result.output)
+        self.telemetry.record_latency(
+            "serve.request", time.perf_counter() - received
+        )
+        await self._send(writer, write_lock, response)
+
+    async def _execute(
+        self, key: Tuple[str, str], entry: ModelEntry, program_input: Any
+    ) -> Tuple[DeploymentOutcome, float, float]:
+        """Run one admitted execution on the pool; owns the in-flight slot."""
+        loop = asyncio.get_running_loop()
+        try:
+            outcome, selection_seconds, execution_seconds = await loop.run_in_executor(
+                self._pool, self._run_deployed, entry.deployed, program_input
+            )
+        finally:
+            # Clearing inside the coroutine (not a done-callback) guarantees
+            # the slot is free before any awaiter resumes, so a follow-up
+            # identical request becomes a cache recall, never a stale join.
+            self._inflight.pop(key, None)
+        self.telemetry.count("serve_executions")
+        if outcome.cache_hit:
+            self.telemetry.count("serve_cache_hits")
+        self.telemetry.record_latency("serve.selection", selection_seconds)
+        self.telemetry.record_latency("serve.execution", execution_seconds)
+        return outcome, selection_seconds, execution_seconds
+
+    @staticmethod
+    def _run_deployed(
+        deployed: DeployedProgram, program_input: Any
+    ) -> Tuple[DeploymentOutcome, float, float]:
+        """The pool-thread body: one timed ``DeployedProgram.run``.
+
+        Mirrors :meth:`DeployedProgram.run` exactly (selection, then a
+        ``need_output`` run through the runtime) but times the two halves
+        separately, because selection latency -- the classifier's whole
+        selling point -- is the distribution the serving telemetry exists
+        to report.
+        """
+        from repro.runtime import default_runtime  # local: avoid cycle at import
+
+        start = time.perf_counter()
+        configuration, index, cost = deployed.select_configuration(program_input)
+        selected = time.perf_counter()
+        runtime = deployed.runtime if deployed.runtime is not None else default_runtime()
+        result, cache_hit = runtime.run_info(
+            deployed.program, configuration, program_input, need_output=True
+        )
+        finished = time.perf_counter()
+        outcome = DeploymentOutcome(
+            result=result,
+            configuration=configuration,
+            landmark_index=index,
+            feature_extraction_cost=cost,
+            cache_hit=cache_hit,
+        )
+        return outcome, selected - start, finished - selected
+
+    async def _handle_swap(
+        self,
+        message: Dict[str, Any],
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        test = message.get("test")
+        payload = message.get("payload")
+        if not isinstance(test, str) or not isinstance(payload, str):
+            await self._reject(
+                writer, write_lock, protocol.BAD_REQUEST,
+                "swap request needs a 'test' name and a 'payload'",
+                message.get("id"),
+            )
+            return
+        try:
+            deployed = protocol.decode_payload(payload)
+            entry = self.publish(test, deployed)
+        except Exception as error:  # noqa: BLE001 - surface to the client
+            await self._reject(
+                writer, write_lock, protocol.BAD_REQUEST,
+                f"swap failed: {type(error).__name__}: {error}", message.get("id"),
+            )
+            return
+        self.telemetry.count("serve_swaps")
+        await self._send(
+            writer, write_lock,
+            {"type": "swapped", "id": message.get("id"), "test": test,
+             "version": entry.version},
+        )
+
+    async def _reject(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        code: int,
+        error: str,
+        request_id: Any = None,
+    ) -> None:
+        await self._send(writer, write_lock, error_response(code, error, request_id))
+
+    # -- input decoding ----------------------------------------------------
+
+    def _decode_input(self, test: str, spec: Any) -> Any:
+        """Materialize the input a ``run`` request describes.
+
+        Raises:
+            ValueError: on a malformed spec (reported as a 400).
+        """
+        if not isinstance(spec, dict):
+            raise ValueError("run request carries no 'input' spec")
+        encoding = spec.get("encoding")
+        if encoding == "pickle":
+            payload = spec.get("payload")
+            if not isinstance(payload, str):
+                raise ValueError("pickle input spec needs a 'payload'")
+            try:
+                return protocol.decode_payload(payload)
+            except Exception as error:
+                raise ValueError(f"undecodable input payload: {error}") from None
+        if encoding == "index":
+            try:
+                index = int(spec["index"])
+            except (KeyError, TypeError, ValueError):
+                raise ValueError("index input spec needs an integer 'index'") from None
+            if index < 0:
+                raise ValueError("input index must be non-negative")
+            seed = int(spec.get("seed", self.config.default_seed))
+            from repro.benchmarks_suite import get_benchmark  # lazy: heavy import
+
+            try:
+                variant = get_benchmark(test)
+            except KeyError as error:
+                raise ValueError(str(error)) from None
+            variant_name = spec.get("variant") or variant.variant
+            try:
+                source = variant.benchmark.input_source(
+                    index + 1, variant_name, seed=seed
+                )
+            except KeyError as error:
+                raise ValueError(str(error)) from None
+            return source.materialize(index)
+        raise ValueError(f"unknown input encoding {encoding!r}")
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Registry, admission, and telemetry state as a plain dict."""
+        return {
+            "protocol": SERVING_PROTOCOL_VERSION,
+            "address": list(self.address) if self.address else None,
+            "models": self.registry.versions(),
+            "inflight": len(self._inflight),
+            "max_pending": self.config.max_pending,
+            "runtime": self.runtime.stats(),
+        }
+
+
+class ServerThread:
+    """Run a :class:`SelectorServer` on a background event-loop thread.
+
+    The synchronous harness the tests, the load generator, and the CLI
+    share: enter the context manager, talk to ``server.address`` over TCP
+    from any thread, and the loop shuts the server down cleanly on exit.
+    """
+
+    def __init__(self, server: SelectorServer) -> None:
+        self.server = server
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        assert self.server.address is not None, "server not started"
+        return self.server.address
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main()),
+            name="repro-serving",
+            daemon=True,
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=30):
+            raise RuntimeError("serving thread failed to start in time")
+        if self._startup_error is not None:
+            raise RuntimeError("server failed to start") from self._startup_error
+        return self
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        try:
+            await self.server.start()
+        except BaseException as error:  # noqa: BLE001 - report to starter
+            self._startup_error = error
+            self._started.set()
+            return
+        self._started.set()
+        await self._stop_event.wait()
+        await self.server.stop()
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop_event is not None:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+            self._thread = None
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.stop()

@@ -3,8 +3,21 @@
 import numpy as np
 import pytest
 
-from repro.core.pipeline import DeployedProgram, InputAwareLearning
+from repro.core.pipeline import DeployedProgram, InputAwareLearning, LandmarkMismatchError
 from repro.core.level1 import Level1Config
+from repro.runtime import RunCache, Runtime, SerialExecutor
+
+
+class _FixedLabelClassifier:
+    """Stub classifier predicting one fixed label (to probe label guards)."""
+
+    name = "fixed"
+
+    def __init__(self, label):
+        self.label = label
+
+    def classify_input(self, program_input, features):
+        return self.label, 0.25
 
 
 class TestTrainingResult:
@@ -51,6 +64,79 @@ class TestDeployedProgram:
         training = sort_training["training"]
         with pytest.raises(ValueError):
             DeployedProgram(training.deployed.program, [], training.production_classifier)
+
+
+class TestSelectorLabelGuards:
+    """Regression tests: out-of-range labels were silently clamped before."""
+
+    def _deployed(self, sort_training, label, runtime=None):
+        training = sort_training["training"]
+        return DeployedProgram(
+            training.deployed.program,
+            training.landmarks,
+            _FixedLabelClassifier(label),
+            runtime=runtime,
+        )
+
+    def test_one_off_label_clamps_and_counts(self, sort_training):
+        runtime = Runtime(executor=SerialExecutor(), cache=None)
+        n = len(sort_training["training"].landmarks)
+        deployed = self._deployed(sort_training, n, runtime=runtime)
+        config, index, _cost = deployed.select_configuration(sort_training["inputs"][0])
+        assert index == n - 1
+        assert config == sort_training["training"].landmarks[n - 1]
+        assert runtime.telemetry.counters["selector_labels_clamped"] == 1
+
+    def test_negative_one_off_label_clamps_to_zero(self, sort_training):
+        runtime = Runtime(executor=SerialExecutor(), cache=None)
+        deployed = self._deployed(sort_training, -1, runtime=runtime)
+        _config, index, _cost = deployed.select_configuration(sort_training["inputs"][0])
+        assert index == 0
+        assert runtime.telemetry.counters["selector_labels_clamped"] == 1
+
+    def test_in_range_label_does_not_count(self, sort_training):
+        runtime = Runtime(executor=SerialExecutor(), cache=None)
+        deployed = self._deployed(sort_training, 0, runtime=runtime)
+        deployed.select_configuration(sort_training["inputs"][0])
+        assert "selector_labels_clamped" not in runtime.telemetry.counters
+
+    @pytest.mark.parametrize("factor", [2, 3])
+    def test_wild_label_raises_mismatch(self, sort_training, factor):
+        n = len(sort_training["training"].landmarks)
+        deployed = self._deployed(sort_training, factor * n)
+        with pytest.raises(LandmarkMismatchError, match="different landmark set"):
+            deployed.select_configuration(sort_training["inputs"][0])
+
+    def test_wildly_negative_label_raises_mismatch(self, sort_training):
+        n = len(sort_training["training"].landmarks)
+        deployed = self._deployed(sort_training, -n)
+        with pytest.raises(LandmarkMismatchError):
+            deployed.select_configuration(sort_training["inputs"][0])
+
+
+class TestDeploymentCacheHit:
+    def test_cache_hit_flag_round_trip(self, sort_training):
+        training = sort_training["training"]
+        runtime = Runtime(executor=SerialExecutor(), cache=RunCache())
+        deployed = DeployedProgram(
+            training.deployed.program,
+            training.landmarks,
+            training.production_classifier,
+            runtime=runtime,
+        )
+        data = sort_training["inputs"][2]
+        first = deployed.run(data)
+        second = deployed.run(data)
+        assert first.cache_hit is False
+        assert second.cache_hit is True
+        assert second.result == first.result
+        assert second.landmark_index == first.landmark_index
+
+    def test_cacheless_runs_never_report_hits(self, sort_training):
+        training = sort_training["training"]
+        data = sort_training["inputs"][2]
+        assert training.deployed.run(data).cache_hit is False
+        assert training.deployed.run(data).cache_hit is False
 
 
 class TestInputAwareLearningValidation:

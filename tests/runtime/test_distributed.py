@@ -322,6 +322,47 @@ class TestExternalWorkerAttach:
             main(["--connect", "no-port-here"])
 
 
+class TestPortRebind:
+    """A closed coordinator's fixed port must be immediately rebindable."""
+
+    def test_coordinator_rebinds_same_port_after_close(self):
+        import socket as socket_module
+
+        from repro.runtime.distributed import Coordinator
+
+        first = Coordinator(workers=0)
+        host, port = first.address
+        # Leave connection state behind on the old incarnation's port, the
+        # way a dying deployment would.
+        probe = socket_module.create_connection((host, port))
+        first.close()
+        probe.close()
+        with Coordinator(workers=0, port=port) as second:
+            assert second.address == (host, port)
+
+    def test_coordinator_rejects_occupied_port(self):
+        from repro.runtime.distributed import Coordinator
+
+        with Coordinator(workers=0) as holder:
+            _host, port = holder.address
+            with pytest.raises(OSError):
+                Coordinator(workers=0, port=port)
+
+    def test_distributed_executor_restart_on_fixed_port(self, sort_setup):
+        program, _configs, tasks = sort_setup
+        expected = SerialExecutor().run_batch(program, tasks[:2])
+        with DistributedExecutor(workers=1) as first:
+            first.run_batch(program, tasks[:2])
+            _host, port = first.address
+        # The restarted executor must come up on the exact same port and
+        # serve leases -- the contract a worker fleet's --connect flag and a
+        # colocated serving process both rely on.
+        with DistributedExecutor(workers=1, port=port) as second:
+            assert second.address[1] == port
+            results = second.run_batch(program, tasks[:2])
+        assert [r.time for r in results] == [r.time for r in expected]
+
+
 # -- end-to-end determinism ----------------------------------------------
 
 

@@ -66,6 +66,35 @@ class TestRuntimeRun:
         assert len(calls) == 2
 
 
+class TestRunInfo:
+    def test_reports_cache_provenance(self):
+        program, calls = counting_program()
+        runtime = Runtime(cache=RunCache())
+        config = program.default_configuration()
+        first, first_hit = runtime.run_info(program, config, 3)
+        second, second_hit = runtime.run_info(program, config, 3)
+        assert (first_hit, second_hit) == (False, True)
+        assert second is first
+        assert len(calls) == 1
+
+    def test_cacheless_never_reports_hits(self):
+        program, _calls = counting_program()
+        runtime = Runtime(cache=None)
+        config = program.default_configuration()
+        _result, hit = runtime.run_info(program, config, 3)
+        _result, hit_again = runtime.run_info(program, config, 3)
+        assert hit is False and hit_again is False
+
+    def test_need_output_miss_then_hit(self):
+        program, _calls = counting_program()
+        runtime = Runtime(cache=RunCache())
+        config = program.default_configuration()
+        _result, hit = runtime.run_info(program, config, 3, need_output=True)
+        result, hit_again = runtime.run_info(program, config, 3, need_output=True)
+        assert (hit, hit_again) == (False, True)
+        assert result.output == config["x"]
+
+
 class TestRunPairs:
     def test_duplicates_execute_once_under_cache(self):
         program, calls = counting_program()

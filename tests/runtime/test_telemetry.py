@@ -1,8 +1,48 @@
-"""Tests for runtime telemetry counters and phase timers."""
+"""Tests for runtime telemetry counters, phase timers, and latency recorders."""
 
 import pytest
 
 from repro.runtime import Telemetry
+from repro.runtime.telemetry import LatencyRecorder
+
+
+class TestLatencyRecorder:
+    def test_percentiles_nearest_rank(self):
+        recorder = LatencyRecorder()
+        for ms in range(1, 101):  # 1ms .. 100ms
+            recorder.record(ms / 1000)
+        assert recorder.p50 == pytest.approx(0.050)
+        assert recorder.p99 == pytest.approx(0.099)
+        assert recorder.percentile(1.0) == pytest.approx(0.100)
+        assert recorder.mean() == pytest.approx(0.0505)
+
+    def test_single_sample(self):
+        recorder = LatencyRecorder()
+        recorder.record(0.25)
+        assert recorder.p50 == recorder.p99 == 0.25
+
+    def test_empty_is_zero(self):
+        recorder = LatencyRecorder()
+        assert recorder.p50 == 0.0
+        assert recorder.mean() == 0.0
+
+    def test_sample_cap_drops_but_counts(self):
+        recorder = LatencyRecorder(max_samples=3)
+        for _ in range(5):
+            recorder.record(0.1)
+        assert recorder.count == 5
+        assert len(recorder.samples) == 3
+        assert recorder.dropped == 2
+        assert recorder.total_seconds == pytest.approx(0.5)
+        assert recorder.snapshot()["dropped_samples"] == 2
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder(max_samples=0)
+        recorder = LatencyRecorder()
+        recorder.record(0.1)
+        with pytest.raises(ValueError):
+            recorder.percentile(1.5)
 
 
 class TestCounters:
@@ -65,6 +105,30 @@ class TestMergeAndSnapshot:
         assert snapshot["counters"]["runs_requested"] == 4
         assert snapshot["phases"]["p"]["calls"] == 1
         assert snapshot["hit_rate"] == pytest.approx(0.25)
+
+    def test_record_latency_and_snapshot(self):
+        telemetry = Telemetry()
+        telemetry.record_latency("serve.selection", 0.010)
+        telemetry.record_latency("serve.selection", 0.030)
+        snapshot = telemetry.snapshot()
+        view = snapshot["latencies"]["serve.selection"]
+        assert view["count"] == 2
+        assert view["mean_seconds"] == pytest.approx(0.020)
+
+    def test_snapshot_omits_latencies_when_unused(self):
+        assert "latencies" not in Telemetry().snapshot()
+
+    def test_merge_folds_latencies(self):
+        a = Telemetry()
+        a.record_latency("req", 0.010)
+        b = Telemetry()
+        b.record_latency("req", 0.030)
+        b.record_latency("req", 0.050)
+        a.merge(b)
+        recorder = a.latencies["req"]
+        assert recorder.count == 3
+        assert recorder.total_seconds == pytest.approx(0.090)
+        assert recorder.p50 == pytest.approx(0.030)
 
     def test_format_summary_mentions_runs_and_phases(self):
         telemetry = Telemetry()

@@ -1,0 +1,51 @@
+"""Tests for the serving load generator (trace shape + measured metrics)."""
+
+import pytest
+
+from repro.serving import build_trace, run_load
+from repro.serving.server import ServingConfig
+
+
+class TestBuildTrace:
+    def test_covers_every_unique_index(self):
+        trace = build_trace(16, 5, seed=3)
+        assert len(trace) == 16
+        assert set(trace) == set(range(5))
+
+    def test_deterministic_per_seed(self):
+        assert build_trace(32, 8, seed=1) == build_trace(32, 8, seed=1)
+        assert build_trace(32, 8, seed=1) != build_trace(32, 8, seed=2)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            build_trace(4, 5)
+        with pytest.raises(ValueError):
+            build_trace(4, 0)
+
+
+class TestRunLoad:
+    def test_duplicate_heavy_trace_executes_each_unique_once(self, sort_training):
+        metrics = run_load(
+            "sort2",
+            sort_training["training"].deployed,
+            requests=12,
+            unique_inputs=4,
+            clients=2,
+            trace_seed=0,
+            input_seed=777,
+            config=ServingConfig(max_pending=16),
+        )
+        assert metrics["requests"] == 12
+        assert metrics["duplicate_fraction"] >= 0.5
+        assert metrics["each_unique_executed_at_most_once"] is True
+        assert metrics["executions"] <= 4
+        assert metrics["rejected"] == 0
+        # Every request is exactly one of: fresh execution, coalesced join,
+        # or run-cache recall.
+        assert (
+            metrics["executions"] + metrics["coalesced"] + metrics["cache_hits"]
+            == metrics["requests"]
+        )
+        assert metrics["throughput_rps"] > 0.0
+        assert metrics["selection_p99_ms"] >= metrics["selection_p50_ms"] >= 0.0
+        assert metrics["request_p99_ms"] >= metrics["request_p50_ms"] > 0.0

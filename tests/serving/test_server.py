@@ -1,0 +1,428 @@
+"""Tests for the serving layer: protocol, registry, server, coalescing.
+
+The determinism tests are the serving contract in miniature: whatever mix
+of concurrency, coalescing, cache recall, and mid-stream hot-swap a client
+population throws at the server, every response's measured fields must be
+byte-identical to what a sequential ``DeployedProgram.run`` loop produces.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import DeployedProgram
+from repro.lang.config import ConfigurationSpace, IntegerParameter
+from repro.lang.cost import charge
+from repro.lang.program import PetaBricksProgram
+from repro.serving import (
+    ModelRegistry,
+    SelectorServer,
+    ServerThread,
+    ServingClient,
+    ServingConfig,
+    protocol,
+)
+
+
+def wait_until(predicate, timeout=10.0):
+    """Poll a predicate until true (or the timeout runs out)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return predicate()
+
+
+class _ZeroClassifier:
+    """Stub classifier: always landmark 0, fixed extraction cost."""
+
+    name = "zero"
+
+    def classify_input(self, program_input, features):
+        return 0, 0.5
+
+
+def gated_program(name="gated"):
+    """A program whose executions block until the returned gate opens."""
+    gate = threading.Event()
+
+    def run(config, program_input):
+        gate.wait(timeout=30)
+        charge(float(program_input))
+        return program_input
+
+    space = ConfigurationSpace([IntegerParameter("x", 1, 4)])
+    return PetaBricksProgram(name, space, run), gate
+
+
+def gated_deployment(name="gated"):
+    """A one-landmark deployed program over a gated stub (plus its gate)."""
+    program, gate = gated_program(name)
+    deployed = DeployedProgram(
+        program, [program.default_configuration()], _ZeroClassifier()
+    )
+    return deployed, gate
+
+
+@pytest.fixture(scope="module")
+def sort_server(sort_training):
+    """A running server with the small trained sort selector published."""
+    server = SelectorServer()
+    server.publish("sort2", sort_training["training"].deployed)
+    with ServerThread(server):
+        yield server
+
+
+def connect(server):
+    host, port = server.address
+    return ServingClient(host, port)
+
+
+class TestProtocol:
+    def test_message_round_trip(self):
+        message = {"type": "run", "id": 7, "test": "sort2"}
+        assert protocol.decode_message(protocol.encode_message(message)) == message
+
+    def test_rejects_non_object_frames(self):
+        with pytest.raises(ValueError):
+            protocol.decode_message(b"[1, 2]\n")
+
+    def test_input_spec_builders(self):
+        spec = protocol.index_input(12, seed=999, variant="synthetic")
+        assert spec == {
+            "encoding": "index", "index": 12, "seed": 999, "variant": "synthetic",
+        }
+        data = [3, 1, 2]
+        back = protocol.decode_payload(protocol.pickle_input(data)["payload"])
+        assert back == data
+
+    def test_run_request_shape(self):
+        message = protocol.run_request(1, "sort2", protocol.index_input(0))
+        assert message["type"] == "run"
+        assert "want_output" not in message
+        assert protocol.run_request(1, "t", {}, want_output=True)["want_output"]
+
+    def test_decode_output(self):
+        response = {"output": protocol.encode_payload([1, 2])}
+        assert protocol.decode_output(response) == [1, 2]
+        assert protocol.decode_output({"type": "result"}) is None
+
+
+class TestRegistry:
+    def test_publish_versions_monotonic(self):
+        registry = ModelRegistry()
+        deployed, _gate = gated_deployment()
+        assert registry.publish("a", deployed).version == 1
+        assert registry.publish("a", deployed).version == 2
+        assert registry.publish("b", deployed).version == 1
+        assert registry.versions() == {"a": 2, "b": 1}
+        assert registry.tests() == ["a", "b"]
+        assert "a" in registry and len(registry) == 2
+
+    def test_get_unknown_raises_with_choices(self):
+        registry = ModelRegistry()
+        registry.publish("a", gated_deployment()[0])
+        with pytest.raises(KeyError, match="'a'"):
+            registry.get("missing")
+
+    def test_rejects_non_deployed_values(self):
+        with pytest.raises(TypeError):
+            ModelRegistry().publish("a", object())
+
+
+class TestServerBasics:
+    def test_ping(self, sort_server):
+        with connect(sort_server) as client:
+            pong = client.ping()
+        assert pong["type"] == "pong"
+        assert pong["protocol"] == protocol.SERVING_PROTOCOL_VERSION
+
+    def test_unknown_test_is_404(self, sort_server):
+        with connect(sort_server) as client:
+            response = client.run("nope", protocol.index_input(0))
+        assert response["type"] == "error"
+        assert response["code"] == protocol.UNKNOWN_TEST
+
+    def test_malformed_frame_is_400(self, sort_server):
+        with connect(sort_server) as client:
+            client._sock.sendall(b"this is not json\n")
+            response = client.recv()
+        assert response["type"] == "error"
+        assert response["code"] == protocol.BAD_REQUEST
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            None,
+            {"encoding": "alien"},
+            {"encoding": "index"},
+            {"encoding": "index", "index": -1},
+            {"encoding": "index", "index": 0, "variant": "alien"},
+            {"encoding": "pickle"},
+            {"encoding": "pickle", "payload": "!!!not-base64!!!"},
+        ],
+    )
+    def test_bad_input_specs_are_400(self, sort_server, spec):
+        with connect(sort_server) as client:
+            response = client.run("sort2", spec)
+        assert response["type"] == "error"
+        assert response["code"] == protocol.BAD_REQUEST
+
+    def test_unknown_message_type_is_400(self, sort_server):
+        with connect(sort_server) as client:
+            response = client.request({"type": "dance"})
+        assert response["code"] == protocol.BAD_REQUEST
+
+    def test_run_matches_deployed_run(self, sort_server, sort_training):
+        deployed = sort_training["training"].deployed
+        data = sort_training["inputs"][0]
+        expected = deployed.run(data)
+        with connect(sort_server) as client:
+            response = client.run("sort2", protocol.pickle_input(data), want_output=True)
+        assert response["type"] == "result"
+        assert response["landmark"] == expected.landmark_index
+        assert response["time"] == expected.result.time
+        assert response["accuracy"] == expected.result.accuracy
+        assert response["feature_cost"] == expected.feature_extraction_cost
+        assert response["total_time"] == expected.total_time
+        assert np.array_equal(protocol.decode_output(response), expected.result.output)
+
+    def test_index_input_equals_pickled_input(self, sort_server, sort_training):
+        variant = sort_training["variant"]
+        data = variant.benchmark.input_source(3, variant.variant, seed=999)[2]
+        with connect(sort_server) as client:
+            by_index = client.run("sort2", protocol.index_input(2, seed=999))
+            by_value = client.run("sort2", protocol.pickle_input(data))
+        # Identical content -> identical cache key -> the second is a recall
+        # of the first, and every measured field matches exactly.
+        assert by_value["cache_hit"] is True
+        for field in ("landmark", "time", "accuracy", "feature_cost", "total_time"):
+            assert by_index[field] == by_value[field]
+
+    def test_repeat_is_cache_hit(self, sort_server, sort_training):
+        data = sort_training["inputs"][1]
+        with connect(sort_server) as client:
+            first = client.run("sort2", protocol.pickle_input(data))
+            second = client.run("sort2", protocol.pickle_input(data))
+        assert second["cache_hit"] is True
+        assert second["time"] == first["time"]
+
+    def test_stats_snapshot(self, sort_server):
+        with connect(sort_server) as client:
+            client.run("sort2", protocol.index_input(0))
+            stats = client.stats()
+        assert stats["type"] == "stats"
+        assert stats["models"]["sort2"] >= 1
+        assert stats["protocol"] == protocol.SERVING_PROTOCOL_VERSION
+        counters = stats["runtime"]["telemetry"]["counters"]
+        assert counters["serve_requests"] >= 1
+        latencies = stats["runtime"]["telemetry"]["latencies"]
+        assert latencies["serve.selection"]["count"] >= 1
+        assert latencies["serve.request"]["p99_seconds"] >= 0.0
+
+    def test_response_latency_split_present(self, sort_server, sort_training):
+        with connect(sort_server) as client:
+            response = client.run(
+                "sort2", protocol.pickle_input(sort_training["inputs"][3])
+            )
+        assert response["selection_seconds"] >= 0.0
+        assert response["execution_seconds"] >= 0.0
+        assert response["model_version"] >= 1
+
+
+class TestCoalescing:
+    def test_identical_inflight_requests_share_one_execution(self):
+        deployed, gate = gated_deployment("coalesce")
+        server = SelectorServer()
+        server.publish("gated", deployed)
+        with ServerThread(server):
+            with connect(server) as a, connect(server) as b:
+                a.send(protocol.run_request(1, "gated", protocol.pickle_input(7)))
+                assert wait_until(lambda: len(server._inflight) == 1)
+                b.send(protocol.run_request(2, "gated", protocol.pickle_input(7)))
+                assert wait_until(
+                    lambda: server.telemetry.counters.get("serve_coalesced", 0) == 1
+                )
+                gate.set()
+                first, second = a.recv(), b.recv()
+        assert first["type"] == second["type"] == "result"
+        assert first["coalesced"] is False
+        assert second["coalesced"] is True
+        assert second["time"] == first["time"]
+        assert server.telemetry.counters["runs_executed"] == 1
+        assert server.telemetry.counters["serve_executions"] == 1
+
+    def test_sequential_repeat_is_recall_not_join(self):
+        deployed, gate = gated_deployment("recall")
+        gate.set()  # executions never block
+        server = SelectorServer()
+        server.publish("gated", deployed)
+        with ServerThread(server):
+            with connect(server) as client:
+                first = client.run("gated", protocol.pickle_input(3))
+                second = client.run("gated", protocol.pickle_input(3))
+        assert first["cache_hit"] is False and first["coalesced"] is False
+        assert second["cache_hit"] is True and second["coalesced"] is False
+        assert server.telemetry.counters["runs_executed"] == 1
+
+
+class TestBackpressure:
+    def test_distinct_overflow_request_is_503(self):
+        deployed, gate = gated_deployment("overload")
+        server = SelectorServer(config=ServingConfig(max_pending=1))
+        server.publish("gated", deployed)
+        with ServerThread(server):
+            with connect(server) as a, connect(server) as b:
+                a.send(protocol.run_request(1, "gated", protocol.pickle_input(1)))
+                assert wait_until(lambda: len(server._inflight) == 1)
+                rejected = b.run("gated", protocol.pickle_input(2))
+                # A coalescable duplicate adds no execution: always admitted.
+                b.send(protocol.run_request(3, "gated", protocol.pickle_input(1)))
+                assert wait_until(
+                    lambda: server.telemetry.counters.get("serve_coalesced", 0) == 1
+                )
+                gate.set()
+                admitted = a.recv()
+                joined = b.recv()
+        assert rejected["type"] == "error"
+        assert rejected["code"] == protocol.OVERLOADED
+        assert admitted["type"] == "result"
+        assert joined["type"] == "result" and joined["coalesced"] is True
+        assert server.telemetry.counters["serve_rejected"] == 1
+
+    def test_rejects_nonpositive_cap(self):
+        with pytest.raises(ValueError):
+            SelectorServer(config=ServingConfig(max_pending=0))
+
+
+class TestHotSwap:
+    def test_swap_bumps_version_atomically(self, sort_training):
+        deployed = sort_training["training"].deployed
+        server = SelectorServer()
+        server.publish("sort2", deployed)
+        with ServerThread(server):
+            with connect(server) as client:
+                before = client.run("sort2", protocol.index_input(0))
+                swapped = client.swap("sort2", deployed)
+                after = client.run("sort2", protocol.index_input(0))
+        assert swapped == {"type": "swapped", "id": None, "test": "sort2", "version": 2}
+        assert before["model_version"] == 1
+        assert after["model_version"] == 2
+        # Identically retrained model -> byte-identical measurements.
+        assert after["time"] == before["time"]
+        assert after["landmark"] == before["landmark"]
+
+    def test_swap_without_payload_is_400(self, sort_server):
+        with connect(sort_server) as client:
+            response = client.request({"type": "swap", "test": "sort2"})
+        assert response["code"] == protocol.BAD_REQUEST
+
+    def test_swap_with_garbage_payload_is_400(self, sort_server):
+        with connect(sort_server) as client:
+            response = client.request(
+                {"type": "swap", "test": "sort2",
+                 "payload": protocol.encode_payload(object())}
+            )
+        assert response["code"] == protocol.BAD_REQUEST
+
+
+RESULT_FIELDS = ("landmark", "time", "accuracy", "feature_cost", "total_time")
+
+
+class TestConcurrentDeterminism:
+    """N parallel clients with overlapping inputs == the sequential loop."""
+
+    def _sequential_baseline(self, sort_training, inputs):
+        deployed = sort_training["training"].deployed
+        expected = {}
+        for i, data in enumerate(inputs):
+            outcome = deployed.run(data)
+            expected[i] = {
+                "landmark": outcome.landmark_index,
+                "time": outcome.result.time,
+                "accuracy": outcome.result.accuracy,
+                "feature_cost": outcome.feature_extraction_cost,
+                "total_time": outcome.total_time,
+            }
+        return expected
+
+    def _replay(self, server, schedule, swap_with=None):
+        """Run per-client input schedules concurrently; collect responses."""
+        results = [dict() for _ in schedule]
+        errors = []
+
+        def worker(slot):
+            try:
+                with connect(server) as client:
+                    for i, data in schedule[slot]:
+                        results[slot][i] = client.run(
+                            "sort2", protocol.pickle_input(data)
+                        )
+            except Exception as error:  # pragma: no cover - surfaced below
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(slot,))
+            for slot in range(len(schedule))
+        ]
+        for thread in threads:
+            thread.start()
+        if swap_with is not None:
+            with connect(server) as control:
+                swapped = control.swap("sort2", swap_with)
+                assert swapped["type"] == "swapped"
+        for thread in threads:
+            thread.join()
+        assert not errors, errors
+        return results
+
+    def test_parallel_overlapping_clients_match_sequential(self, sort_training):
+        variant = sort_training["variant"]
+        inputs = variant.benchmark.generate_inputs(6, variant.variant, seed=321)
+        expected = self._sequential_baseline(sort_training, inputs)
+
+        server = SelectorServer()
+        server.publish("sort2", sort_training["training"].deployed)
+        # Every client replays every input, in a client-specific order, so
+        # each input is requested 4 times across overlapping connections.
+        schedule = [
+            [(i, inputs[i]) for i in order]
+            for order in ([0, 1, 2, 3, 4, 5], [5, 4, 3, 2, 1, 0],
+                          [2, 0, 4, 1, 5, 3], [3, 5, 1, 4, 0, 2])
+        ]
+        with ServerThread(server):
+            results = self._replay(server, schedule)
+        for per_client in results:
+            for i, response in per_client.items():
+                assert response["type"] == "result"
+                for field in RESULT_FIELDS:
+                    assert response[field] == expected[i][field], (i, field)
+        # 24 requests, 6 unique inputs: at most 6 executions happened.
+        assert server.telemetry.counters["runs_executed"] <= len(inputs)
+
+    def test_determinism_survives_mid_stream_hot_swap(self, sort_training):
+        variant = sort_training["variant"]
+        inputs = variant.benchmark.generate_inputs(5, variant.variant, seed=654)
+        expected = self._sequential_baseline(sort_training, inputs)
+
+        server = SelectorServer()
+        server.publish("sort2", sort_training["training"].deployed)
+        schedule = [
+            [(i, inputs[i]) for i in order]
+            for order in ([0, 1, 2, 3, 4], [4, 3, 2, 1, 0], [2, 4, 0, 3, 1])
+        ]
+        with ServerThread(server):
+            # Swap in the identically trained model while clients stream.
+            results = self._replay(
+                server, schedule, swap_with=sort_training["training"].deployed
+            )
+            assert server.registry.get("sort2").version == 2
+        for per_client in results:
+            for i, response in per_client.items():
+                assert response["type"] == "result"
+                assert response["model_version"] in (1, 2)
+                for field in RESULT_FIELDS:
+                    assert response[field] == expected[i][field], (i, field)

@@ -19,6 +19,18 @@ class TestParser:
         assert args.tests == ["sort2"] and args.inputs == 30
         assert parser.parse_args(["train", "svd"]).test == "svd"
 
+    def test_serve_command_parses(self):
+        args = build_parser().parse_args(
+            ["serve", "--tests", "sort2", "svd", "--port", "0", "--max-pending", "8"]
+        )
+        assert args.command == "serve"
+        assert args.tests == ["sort2", "svd"]
+        assert args.port == 0
+        assert args.max_pending == 8
+        assert args.execution_workers == 1
+        # serve shares the scale/runtime flags with train/table1.
+        assert _experiment_config(args).n_inputs == args.inputs
+
     def test_memory_flags_parse_with_defaults(self, monkeypatch):
         monkeypatch.delenv("REPRO_CACHE_MAX_ENTRIES", raising=False)
         monkeypatch.delenv("REPRO_STREAM_INPUTS", raising=False)
