@@ -1,0 +1,77 @@
+"""Benchmark: the online-adaptation loop on the scripted drift scenario.
+
+Records the adaptation baseline (``BENCH_adaptation.json`` is the
+``repro adapt-replay --scale small --output`` report, digest included).
+The replay is fully deterministic, so beyond the performance numbers the
+committed digest is a bit-exact regression anchor: any change to the
+feature pipeline, drift statistics, retrainer, or serving path that moves
+a single served cost shows up as a digest mismatch here.
+
+Invariants asserted at every scale:
+
+* the mixture shift trips the drift monitor at least once,
+* at least one validated retrain hot-swaps (and none fail),
+* the adapted pass strictly reduces shifted-tail regret vs the frozen
+  selector.
+
+Scales with ``REPRO_BENCH_SCALE``: ``small`` replays the 96-request small
+scenario; ``large`` replays the 224-request large one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.adaptation import replay_scenario, sort_drift_scenario
+from repro.runtime import RunCache, Runtime
+from repro.runtime.executors import SerialExecutor
+
+from conftest import bench_scale
+
+_BASELINE = os.path.join(os.path.dirname(__file__), "BENCH_adaptation.json")
+
+
+def _scenario_scale() -> str:
+    return "large" if bench_scale() == "large" else "small"
+
+
+def _replay():
+    runtime = Runtime(executor=SerialExecutor(), cache=RunCache())
+    try:
+        return replay_scenario(
+            sort_drift_scenario(_scenario_scale(), seed=0), runtime
+        )
+    finally:
+        runtime.close()
+
+
+def test_adaptation_replay(benchmark):
+    """Drift -> retrain -> hot-swap, measured end to end."""
+    report = benchmark.pedantic(_replay, rounds=1, iterations=1)
+    print("\n[adaptation] " + json.dumps(
+        {
+            "scale": _scenario_scale(),
+            "digest": report.digest(),
+            "regret_frozen_shifted": report.regret_frozen_shifted,
+            "regret_adapted_shifted": report.regret_adapted_shifted,
+            "shifted_improvement": report.shifted_improvement,
+            "drift_trips": report.adapted.drift_trips,
+            "swaps": len([s for s in report.adapted.swaps if s["swapped"]]),
+        },
+        sort_keys=True,
+    ))
+
+    assert report.adapted.drift_trips >= 1
+    swaps = [s for s in report.adapted.swaps if s["swapped"]]
+    assert len(swaps) >= 1
+    assert report.adapted.retrains_failed == 0
+    assert report.adapted.final_version == 1 + len(swaps)
+    assert report.frozen.final_version == 1
+    assert report.regret_adapted_shifted < report.regret_frozen_shifted
+    assert report.shifted_improvement > 0
+
+    if _scenario_scale() == "small" and os.path.exists(_BASELINE):
+        with open(_BASELINE, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        assert report.digest() == baseline["digest"]

@@ -42,7 +42,10 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
+
+if TYPE_CHECKING:  # import at runtime is lazy (see _run_deployed)
+    from repro.adaptation.feedback import FeedbackLog
 
 from repro.core.pipeline import DeployedProgram, DeploymentOutcome
 from repro.runtime import RunCache, Runtime, SerialExecutor, input_key
@@ -102,8 +105,13 @@ class SelectorServer:
         registry: Optional[ModelRegistry] = None,
         runtime: Optional[Runtime] = None,
         config: Optional[ServingConfig] = None,
+        feedback: Optional["FeedbackLog"] = None,
     ) -> None:
         self.registry = registry if registry is not None else ModelRegistry()
+        #: Optional adaptation feedback log; when attached, every execution
+        #: appends one record (coalesced duplicates share their job's) --
+        #: the signal the drift monitor and retrainer consume.
+        self.feedback = feedback
         if runtime is None:
             runtime = Runtime(
                 executor=SerialExecutor(),
@@ -299,7 +307,9 @@ class SelectorServer:
                     request_id,
                 )
                 return
-            job = asyncio.ensure_future(self._execute(key, entry, program_input))
+            job = asyncio.ensure_future(
+                self._execute(key, entry, program_input, message.get("input"))
+            )
             self._inflight[key] = job
         else:
             self.telemetry.count("serve_coalesced")
@@ -337,13 +347,22 @@ class SelectorServer:
         await self._send(writer, write_lock, response)
 
     async def _execute(
-        self, key: Tuple[str, str], entry: ModelEntry, program_input: Any
+        self,
+        key: Tuple[str, str],
+        entry: ModelEntry,
+        program_input: Any,
+        input_spec: Any = None,
     ) -> Tuple[DeploymentOutcome, float, float]:
         """Run one admitted execution on the pool; owns the in-flight slot."""
         loop = asyncio.get_running_loop()
         try:
             outcome, selection_seconds, execution_seconds = await loop.run_in_executor(
-                self._pool, self._run_deployed, entry.deployed, program_input
+                self._pool,
+                self._run_deployed,
+                entry.deployed,
+                program_input,
+                self.feedback,
+                self._feedback_spec(entry.test, input_spec),
             )
         finally:
             # Clearing inside the coroutine (not a done-callback) guarantees
@@ -351,15 +370,38 @@ class SelectorServer:
             # identical request becomes a cache recall, never a stale join.
             self._inflight.pop(key, None)
         self.telemetry.count("serve_executions")
+        if self.feedback is not None:
+            self.telemetry.count("serve_feedback_records")
         if outcome.cache_hit:
             self.telemetry.count("serve_cache_hits")
         self.telemetry.record_latency("serve.selection", selection_seconds)
         self.telemetry.record_latency("serve.execution", execution_seconds)
         return outcome, selection_seconds, execution_seconds
 
+    def _feedback_spec(self, test: str, input_spec: Any) -> Optional[Dict[str, Any]]:
+        """The wire input spec, enriched so a trace can rematerialize it.
+
+        An ``index`` spec only names an index on the wire (the test rides
+        the message envelope and the seed may be the server default);
+        folding both in makes the stored record self-contained for offline
+        replay.  Pickle specs already carry their payload.
+        """
+        if self.feedback is None or not isinstance(input_spec, dict):
+            return None
+        if input_spec.get("encoding") == "index":
+            return {
+                **input_spec,
+                "test": test,
+                "seed": int(input_spec.get("seed", self.config.default_seed)),
+            }
+        return dict(input_spec)
+
     @staticmethod
     def _run_deployed(
-        deployed: DeployedProgram, program_input: Any
+        deployed: DeployedProgram,
+        program_input: Any,
+        feedback: Optional["FeedbackLog"] = None,
+        input_spec: Optional[Dict[str, Any]] = None,
     ) -> Tuple[DeploymentOutcome, float, float]:
         """The pool-thread body: one timed ``DeployedProgram.run``.
 
@@ -367,7 +409,10 @@ class SelectorServer:
         ``need_output`` run through the runtime) but times the two halves
         separately, because selection latency -- the classifier's whole
         selling point -- is the distribution the serving telemetry exists
-        to report.
+        to report.  With a feedback log attached, the full feature vector
+        is extracted here too (on the pool thread, in its own scoped cost
+        counter, so observability work never pollutes the served cost) and
+        the request's training signal appended.
         """
         from repro.runtime import default_runtime  # local: avoid cycle at import
 
@@ -386,6 +431,20 @@ class SelectorServer:
             feature_extraction_cost=cost,
             cache_hit=cache_hit,
         )
+        if feedback is not None:
+            from repro.adaptation.feedback import FeedbackRecord  # lazy: no cycle
+
+            values, _ = deployed.program.features.extract_vector(program_input)
+            feedback.append(
+                FeedbackRecord(
+                    features=tuple(float(value) for value in values),
+                    predicted_label=index,
+                    chosen_landmark=index,
+                    observed_cost=float(outcome.total_time),
+                    observed_accuracy=float(result.accuracy),
+                    input_spec=input_spec,
+                )
+            )
         return outcome, selected - start, finished - selected
 
     async def _handle_swap(

@@ -1,0 +1,153 @@
+"""Tests for the drift monitor: thresholds, patience, cooldown."""
+
+import numpy as np
+import pytest
+
+from repro.adaptation import DriftConfig, DriftMonitor
+
+
+def reference_matrix(n: int = 200, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return np.column_stack(
+        [rng.normal(0.0, 1.0, size=n), rng.uniform(0.0, 10.0, size=n)]
+    )
+
+
+def same_population(n: int = 64, seed: int = 1) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return np.column_stack(
+        [rng.normal(0.0, 1.0, size=n), rng.uniform(0.0, 10.0, size=n)]
+    )
+
+
+def shifted_population(n: int = 64, seed: int = 2) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return np.column_stack(
+        [rng.normal(6.0, 1.0, size=n), rng.uniform(50.0, 60.0, size=n)]
+    )
+
+
+def make_monitor(**overrides) -> DriftMonitor:
+    defaults = dict(window=64, min_window=16, patience=2, cooldown=3)
+    defaults.update(overrides)
+    return DriftMonitor(
+        feature_names=["a", "b"],
+        reference=reference_matrix(),
+        config=DriftConfig(**defaults),
+    )
+
+
+class TestDriftConfigValidation:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"window": 0},
+            {"min_window": 0},
+            {"min_window": 100, "window": 50},
+            {"patience": 0},
+            {"cooldown": -1},
+            {"min_drifted_features": 0},
+        ],
+    )
+    def test_bad_knobs_raise(self, overrides):
+        defaults = dict(window=64, min_window=16)
+        defaults.update(overrides)
+        with pytest.raises(ValueError):
+            DriftConfig(**defaults)
+
+
+class TestDriftMonitor:
+    def test_same_population_stays_quiet(self):
+        monitor = make_monitor()
+        for round_seed in range(5):
+            report = monitor.check(same_population(seed=round_seed + 10))
+            assert not report.drifted
+            assert not report.window_drifted
+        assert monitor.trips == 0
+
+    def test_shift_trips_after_patience(self):
+        monitor = make_monitor(patience=2)
+        first = monitor.check(shifted_population())
+        assert first.window_drifted and not first.drifted
+        assert first.consecutive == 1
+        second = monitor.check(shifted_population(seed=3))
+        assert second.drifted
+        assert second.consecutive == 2
+        assert monitor.trips == 1
+        assert set(second.drifted_features) == {"a", "b"}
+
+    def test_quiet_window_resets_patience(self):
+        monitor = make_monitor(patience=2)
+        assert not monitor.check(shifted_population()).drifted
+        assert not monitor.check(same_population()).window_drifted
+        # Patience was reset; a single drifted window is not enough again.
+        assert not monitor.check(shifted_population(seed=4)).drifted
+
+    def test_thin_window_is_insufficient_and_keeps_patience(self):
+        monitor = make_monitor(patience=2, min_window=16)
+        monitor.check(shifted_population())
+        thin = monitor.check(shifted_population(n=4))
+        assert thin.insufficient and not thin.drifted
+        assert thin.consecutive == 1  # untouched
+        assert monitor.check(shifted_population(seed=5)).drifted
+
+    def test_cooldown_absorbs_checks_after_retrain(self):
+        monitor = make_monitor(patience=1, cooldown=2)
+        assert monitor.check(shifted_population()).drifted
+        monitor.notify_retrained()
+        for seed in (6, 7):
+            report = monitor.check(shifted_population(seed=seed))
+            assert report.cooling_down
+            assert not report.drifted
+            assert report.window_drifted  # the raw verdict still reported
+        # Cooldown over: the next drifted window trips again (patience 1).
+        assert monitor.check(shifted_population(seed=8)).drifted
+
+    def test_notify_retrained_swaps_reference(self):
+        monitor = make_monitor(patience=1)
+        shifted = shifted_population(n=200)
+        assert monitor.check(shifted_population(seed=9)).drifted
+        monitor.notify_retrained(shifted)
+        # Burn the cooldown with thin windows (insufficient, still counted).
+        for _ in range(monitor.config.cooldown):
+            monitor.check(shifted_population(n=4))
+        # The shifted population is now the reference: no drift reported.
+        report = monitor.check(shifted_population(seed=10))
+        assert not report.window_drifted
+
+    def test_min_drifted_features_gates_single_feature_noise(self):
+        monitor = make_monitor(min_drifted_features=2, patience=1)
+        rng = np.random.default_rng(11)
+        # Feature "a" drifts hard; feature "b" stays put.
+        live = np.column_stack(
+            [rng.normal(6.0, 1.0, size=64), rng.uniform(0.0, 10.0, size=64)]
+        )
+        report = monitor.check(live)
+        assert report.drifted_features == ["a"]
+        assert not report.window_drifted
+
+    def test_column_mismatch_raises(self):
+        monitor = make_monitor()
+        with pytest.raises(ValueError, match="columns"):
+            monitor.check(np.zeros((32, 3)))
+        with pytest.raises(ValueError, match="columns"):
+            monitor.set_reference(np.zeros((10, 5)))
+
+    def test_empty_reference_raises(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            DriftMonitor(["a"], np.zeros((0, 1)))
+
+    def test_deterministic_in_window_sequence(self):
+        def run() -> list:
+            monitor = make_monitor()
+            outcomes = []
+            for seed in range(6):
+                window = shifted_population(seed=seed) if seed >= 3 else same_population(seed=seed)
+                report = monitor.check(window)
+                outcomes.append(
+                    (report.drifted, report.window_drifted, report.consecutive,
+                     tuple((f.feature, f.psi, f.ks) for f in report.features))
+                )
+            return outcomes
+
+        assert run() == run()

@@ -36,6 +36,9 @@ from repro.runtime.distributed import (
     recv_messages,
 )
 
+# Everything here touches real sockets; see tests/conftest.py.
+pytestmark = pytest.mark.socket_retry
+
 
 # -- module-level task functions (workers import this module to unpickle) --
 

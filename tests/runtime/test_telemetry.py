@@ -1,6 +1,10 @@
 """Tests for runtime telemetry counters, phase timers, and latency recorders."""
 
+import math
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.runtime import Telemetry
 from repro.runtime.telemetry import LatencyRecorder
@@ -138,3 +142,80 @@ class TestMergeAndSnapshot:
         summary = telemetry.format_summary()
         assert "2 requested" in summary
         assert "phase measure" in summary
+
+
+class TestPercentileProperties:
+    """Hypothesis properties of the nearest-rank percentile.
+
+    The recorder promises: every percentile is an actual sample (no
+    interpolation), bounded by the extremes, monotone in the fraction,
+    with p0 = min and p100 = max -- and the cap drops samples without
+    losing the count or the running total.
+    """
+
+    latencies = st.lists(
+        st.floats(
+            min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+        ),
+        min_size=1,
+        max_size=200,
+    )
+
+    @given(samples=latencies, fraction=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=200, deadline=None)
+    def test_percentile_is_an_observed_sample_within_bounds(
+        self, samples, fraction
+    ):
+        recorder = LatencyRecorder()
+        for sample in samples:
+            recorder.record(sample)
+        value = recorder.percentile(fraction)
+        assert min(samples) <= value <= max(samples)
+        assert value in samples
+
+    @given(
+        samples=latencies,
+        fraction_a=st.floats(min_value=0.0, max_value=1.0),
+        fraction_b=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_percentile_is_monotone_in_fraction(
+        self, samples, fraction_a, fraction_b
+    ):
+        recorder = LatencyRecorder()
+        for sample in samples:
+            recorder.record(sample)
+        low, high = sorted((fraction_a, fraction_b))
+        assert recorder.percentile(low) <= recorder.percentile(high)
+
+    @given(samples=latencies)
+    @settings(max_examples=100, deadline=None)
+    def test_extreme_fractions_hit_min_and_max(self, samples):
+        recorder = LatencyRecorder()
+        for sample in samples:
+            recorder.record(sample)
+        assert recorder.percentile(0.0) == min(samples)
+        assert recorder.percentile(1.0) == max(samples)
+
+    @given(samples=latencies, fraction=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=200, deadline=None)
+    def test_matches_nearest_rank_definition(self, samples, fraction):
+        recorder = LatencyRecorder()
+        for sample in samples:
+            recorder.record(sample)
+        ordered = sorted(samples)
+        rank = min(max(1, math.ceil(fraction * len(ordered))), len(ordered))
+        assert recorder.percentile(fraction) == ordered[rank - 1]
+
+    @given(samples=latencies, cap=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=100, deadline=None)
+    def test_cap_accounting_never_loses_events(self, samples, cap):
+        recorder = LatencyRecorder(max_samples=cap)
+        for sample in samples:
+            recorder.record(sample)
+        assert recorder.count == len(samples)
+        assert len(recorder.samples) == min(cap, len(samples))
+        assert recorder.dropped == max(0, len(samples) - cap)
+        assert recorder.total_seconds == pytest.approx(sum(samples))
+        # Percentiles summarize only the retained prefix.
+        assert recorder.percentile(1.0) == max(samples[:cap])

@@ -25,6 +25,9 @@ from repro.serving import (
     protocol,
 )
 
+# Everything here touches real sockets; see tests/conftest.py.
+pytestmark = pytest.mark.socket_retry
+
 
 def wait_until(predicate, timeout=10.0):
     """Poll a predicate until true (or the timeout runs out)."""
@@ -131,6 +134,60 @@ class TestRegistry:
     def test_rejects_non_deployed_values(self):
         with pytest.raises(TypeError):
             ModelRegistry().publish("a", object())
+
+    def test_concurrent_hot_swap_snapshots_are_complete(self):
+        """Readers hammering ``get`` across a publish storm never observe a
+        torn entry: every snapshot's deployed program is exactly the one
+        published at that snapshot's version, and versions are monotone
+        per reader."""
+        registry = ModelRegistry()
+        n_publishes = 200
+        deployments = [gated_deployment(f"v{i}")[0] for i in range(n_publishes)]
+        registry.publish("hot", deployments[0])
+
+        errors = []
+        stop = threading.Event()
+        start = threading.Barrier(9)  # 8 readers + the publisher
+
+        def reader():
+            start.wait()
+            last_version = 0
+            while not stop.is_set():
+                entry = registry.get("hot")
+                if entry.deployed is not deployments[entry.version - 1]:
+                    errors.append(
+                        f"torn snapshot: version {entry.version} paired "
+                        f"with the wrong deployed program"
+                    )
+                    return
+                if entry.version < last_version:
+                    errors.append(
+                        f"version went backwards: {last_version} -> "
+                        f"{entry.version}"
+                    )
+                    return
+                last_version = entry.version
+
+        def publisher():
+            start.wait()
+            for index in range(1, n_publishes):
+                entry = registry.publish("hot", deployments[index])
+                if entry.version != index + 1:
+                    errors.append(
+                        f"publish {index} returned version {entry.version}"
+                    )
+            stop.set()
+
+        threads = [threading.Thread(target=reader) for _ in range(8)]
+        threads.append(threading.Thread(target=publisher))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert errors == []
+        final = registry.get("hot")
+        assert final.version == n_publishes
+        assert final.deployed is deployments[-1]
 
 
 class TestServerBasics:
