@@ -11,6 +11,7 @@ via the ``REPRO_BENCH_SCALE`` environment variable:
 from __future__ import annotations
 
 import os
+import warnings
 
 import pytest
 
@@ -18,9 +19,23 @@ from repro.experiments.runner import ExperimentConfig
 
 
 def bench_scale() -> str:
-    """The requested benchmark scale (``small`` or ``large``)."""
-    scale = os.environ.get("REPRO_BENCH_SCALE", "small").lower()
-    return scale if scale in ("small", "large") else "small"
+    """The requested benchmark scale (``small`` or ``large``).
+
+    An unrecognized ``REPRO_BENCH_SCALE`` still falls back to ``small`` --
+    a typo must not silently skip the large run the caller asked for, so
+    the coercion warns with the offending value instead of hiding it.
+    """
+    raw = os.environ.get("REPRO_BENCH_SCALE", "small")
+    scale = raw.lower()
+    if scale in ("small", "large"):
+        return scale
+    warnings.warn(
+        f"invalid REPRO_BENCH_SCALE={raw!r} (expected 'small' or 'large'); "
+        "falling back to 'small'",
+        RuntimeWarning,
+        stacklevel=2,
+    )
+    return "small"
 
 
 def experiment_config(seed: int = 0) -> ExperimentConfig:

@@ -14,6 +14,7 @@ allowed to buy a different answer.
 
 from __future__ import annotations
 
+import json
 import os
 import time
 
@@ -28,6 +29,18 @@ from conftest import bench_scale
 
 #: Workers used for the parallel measurement (the baseline's fixed point).
 WORKERS = 4
+
+#: Committed small-scale baseline (``BENCH_level2.json``): the selected
+#: classifier, its cost, and the candidate count are deterministic anchors;
+#: the walls in it are informational only.
+_BASELINE = os.path.join(os.path.dirname(__file__), "BENCH_level2.json")
+
+
+def _baseline():
+    if bench_scale() != "small" or not os.path.exists(_BASELINE):
+        return None
+    with open(_BASELINE, "r", encoding="utf-8") as handle:
+        return json.load(handle)
 
 
 def _level2_config() -> Level2Config:
@@ -85,6 +98,17 @@ def test_level2_train_speedup_at_4_workers(benchmark, sort1_dataset):
         f"process:{WORKERS}={parallel_seconds:.3f}s speedup={speedup:.2f}x "
         f"candidates={len(serial_result.classifiers)} cores={os.cpu_count()}"
     )
+
+    baseline = _baseline()
+    if baseline is not None:
+        expected = baseline["search"]
+        assert serial_result.production.classifier.name == (
+            expected["production_classifier"]
+        )
+        assert serial_result.production.performance_cost == (
+            expected["performance_cost"]
+        )
+        assert len(serial_result.classifiers) == expected["n_candidates"]
 
     # Parallelism must never change the answer.
     assert fallback is None

@@ -24,6 +24,9 @@ asserted bit-identical at every scale).
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
 import time
 import tracemalloc
 
@@ -35,6 +38,22 @@ from repro.experiments.runner import run_experiment
 from repro.runtime import RunCache, Runtime
 
 from conftest import bench_scale, experiment_config
+
+#: Committed small-scale baseline (``BENCH_runtime.json``): bit-exact
+#: digests of the deterministic measurement matrix plus the experiment's
+#: telemetry counters.  Wall times in it are informational only.
+_BASELINE = os.path.join(os.path.dirname(__file__), "BENCH_runtime.json")
+
+
+def _baseline():
+    if bench_scale() != "small" or not os.path.exists(_BASELINE):
+        return None
+    with open(_BASELINE, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _digest(array: np.ndarray) -> str:
+    return hashlib.sha256(np.ascontiguousarray(array).tobytes()).hexdigest()
 
 
 def _config(executor: str, use_cache: bool = True):
@@ -59,6 +78,15 @@ def test_experiment_wall_time_by_executor(benchmark, executor):
     )
     assert result.runtime_stats["executor"] == executor
     assert "executor_fallback" not in result.runtime_stats
+    baseline = _baseline()
+    if baseline is not None:
+        # Counters and the headline speedup are deterministic and
+        # executor-independent; any drift is a behavior change, not noise.
+        expected = baseline["experiment"]
+        assert result.mean_speedup("two_level") == expected["two_level_speedup"]
+        assert counters.get("runs_requested", 0) == expected["runs_requested"]
+        assert counters.get("runs_executed", 0) == expected["runs_executed"]
+        assert counters.get("cache_hits", 0) == expected["cache_hits"]
 
 
 def test_warm_cache_speedup(benchmark):
@@ -116,6 +144,13 @@ def test_measurement_matrix_throughput(benchmark, executor):
     )
     runtime.close()
     assert measured["times"].shape == (24, 4)
+    baseline = _baseline()
+    if baseline is not None:
+        # Measured times are deterministic work units, so the matrix is a
+        # bit-exact, machine-independent anchor for every executor.
+        expected = baseline["matrix"]
+        assert _digest(measured["times"]) == expected["times_digest"]
+        assert _digest(measured["accuracies"]) == expected["accuracies_digest"]
 
 
 def test_streaming_peak_memory(benchmark):

@@ -45,16 +45,61 @@ Dispatcher = Callable[[np.ndarray, int], np.ndarray]
 MAX_RECURSION_DEPTH = 64
 
 
-def insertion_sort(data: np.ndarray) -> np.ndarray:
-    """Insertion sort with the classical linear-scan cost profile.
+#: Leaf-block width for the blocked inversion count.  Within a block the
+#: count is an O(block^2) boolean broadcast; across blocks it is a merge-style
+#: sorted/searchsorted pass, so the Python-loop iteration count is O(n/block)
+#: instead of the O(n) per-element loop of the textbook implementation.
+_INVERSION_BLOCK = 128
 
-    The implementation locates each insertion point with a vectorized search
-    (so wall-clock stays reasonable) but charges the cost of the textbook
-    algorithm: one comparison per element scanned while walking left from the
-    end of the sorted prefix plus one move per shifted element.  Total cost is
-    ``Theta(n + #inversions)`` -- essentially linear on almost-sorted inputs
-    and quadratic on adversarial ones, exactly the profile the paper exploits.
+
+def _count_inversions(values: np.ndarray) -> int:
+    """Exact number of pairs ``i < j`` with ``values[i] > values[j]``.
+
+    This is precisely the total shift distance of textbook insertion sort, so
+    charging ``inversions + n`` reproduces the scalar loop's accounting
+    bit-for-bit (both quantities are integers, and integer-valued float sums
+    are order-independent below 2**53).
     """
+    count = int(values.size)
+    if count < 2:
+        return 0
+    total = 0
+    block = _INVERSION_BLOCK
+    for start in range(0, count, block):
+        sub = values[start : start + block]
+        if sub.size > 1:
+            pairwise = sub[:, None] > sub[None, :]
+            total += int(np.count_nonzero(pairwise & _triu_mask(sub.size)))
+    width = block
+    while width < count:
+        for start in range(0, count, 2 * width):
+            mid = start + width
+            if mid >= count:
+                continue
+            left = values[start:mid]
+            right = values[mid : min(start + 2 * width, count)]
+            ranks = np.searchsorted(np.sort(left), right, side="right")
+            total += int(left.size * right.size - int(ranks.sum()))
+        width *= 2
+    return total
+
+
+#: Strict upper-triangle masks per leaf-block size (at most ``_INVERSION_BLOCK``
+#: entries), so the leaf count avoids an ``np.triu`` allocation per block.
+_TRIU_MASKS: dict = {}
+
+
+def _triu_mask(size: int) -> np.ndarray:
+    mask = _TRIU_MASKS.get(size)
+    if mask is None:
+        mask = np.triu(np.ones((size, size), dtype=bool), k=1)
+        _TRIU_MASKS[size] = mask
+    return mask
+
+
+def _insertion_sort_scalar(data: np.ndarray) -> np.ndarray:
+    """The per-element reference implementation (kept for parity tests and
+    as the fallback for data the vectorized order statistics cannot handle)."""
     result = np.empty_like(data)
     count = len(data)
     moves = 0.0
@@ -72,6 +117,28 @@ def insertion_sort(data: np.ndarray) -> np.ndarray:
     charge(comparisons, "compare")
     charge(moves, "move")
     return result
+
+
+def insertion_sort(data: np.ndarray) -> np.ndarray:
+    """Insertion sort with the classical linear-scan cost profile.
+
+    The implementation is fully vectorized -- the output is the stable sort
+    of the input (exactly what stable per-element insertion produces) and the
+    charge is the textbook algorithm's: one comparison per element scanned
+    while walking left from the end of the sorted prefix plus one move per
+    shifted element, i.e. ``inversions + n`` of each.  Total cost is
+    ``Theta(n + #inversions)`` -- essentially linear on almost-sorted inputs
+    and quadratic on adversarial ones, exactly the profile the paper exploits.
+    """
+    data = np.asarray(data)
+    count = len(data)
+    if count and data.dtype.kind == "f" and bool(np.isnan(data).any()):
+        # NaNs break searchsorted/sort agreement; take the reference path.
+        return _insertion_sort_scalar(data)
+    inversions = _count_inversions(data)
+    charge(float(inversions + count), "compare")
+    charge(float(inversions + count), "move")
+    return np.sort(data, kind="stable")
 
 
 def quick_sort(
@@ -101,11 +168,12 @@ def quick_sort(
     less = data[data < pivot]
     equal = data[data == pivot]
     greater = data[data > pivot]
-    charge(count, "move")
 
     sorted_less = dispatch(less, depth + 1)
     sorted_greater = dispatch(greater, depth + 1)
-    charge(count, "move")  # concatenation writes every element once
+    # One move per element for the partition pass plus one for the final
+    # concatenation; the merged charge equals the two separate ones exactly.
+    charge(2.0 * count, "move")
     return np.concatenate([sorted_less, equal, sorted_greater])
 
 
@@ -115,9 +183,14 @@ def _choose_pivot(
     if pivot_rule == "first":
         return float(data[0])
     if pivot_rule == "median3":
-        candidates = [data[0], data[len(data) // 2], data[-1]]
+        first, middle, last = data[0], data[len(data) // 2], data[-1]
         charge(3, "compare")
-        return float(np.median(candidates))
+        if first != first or middle != middle or last != last:
+            # NaN candidates: defer to np.median's NaN-sorts-last semantics.
+            return float(np.median([first, middle, last]))
+        # Middle of three by direct comparison -- the same value np.median
+        # returns for three finite elements, without the sort machinery.
+        return float(max(min(first, middle), min(max(first, middle), last)))
     if pivot_rule == "random":
         generator = rng if rng is not None else np.random.default_rng(0)
         return float(data[int(generator.integers(len(data)))])
@@ -143,7 +216,7 @@ def merge_sort(
         return data.copy()
     ways = max(2, min(int(ways), count))
 
-    boundaries = np.linspace(0, count, ways + 1, dtype=int)
+    boundaries = _merge_boundaries(count, ways)
     chunks = [
         dispatch(data[start:end], depth + 1)
         for start, end in zip(boundaries[:-1], boundaries[1:])
@@ -160,6 +233,146 @@ def merge_sort(
     return chunks[0]
 
 
+#: Memoized merge-subtree plans, keyed by ``(size, ways, rules, fallback,
+#: depth)``.  See :func:`merge_sort_collapsed`.
+_MERGE_PLANS: dict = {}
+_MERGE_PLAN_CAP = 8192
+_PLAN_MISSING = object()
+
+
+def merge_sort_collapsed(
+    data: np.ndarray, depth: int, ways: int, rules: tuple, fallback: str
+):
+    """Run a merge-sort subtree in one shot when its shape is size-determined.
+
+    A merge-sort call whose entire recursion (under the selector ``rules``)
+    consists of ``merge_sort`` nodes and ``insertion_sort`` leaves has a
+    shape that depends only on segment *sizes*, never on the data: the chunk
+    boundaries are deterministic, every merge of ``m`` elements charges ``m``
+    compares and ``m`` moves, each insertion leaf of ``n`` elements charges
+    ``inversions + n`` of each, and the final output is the stable sort of
+    the segment (a merge of stable sorts *is* the stable sort).  So instead
+    of recursing we simulate the tree once per ``(size, ways, rules,
+    fallback, depth)`` key, then per call: count inversions leaf by leaf,
+    issue two aggregate charges (integer-valued, hence order-independent and
+    bit-identical to the incremental accounting), and stable-sort the whole
+    segment once -- replacing the O(n log^2 n) re-sorting of every merge
+    level with a single O(n log n) sort.
+
+    Returns the sorted segment, or ``None`` when the subtree would touch a
+    data-dependent algorithm (quick/radix/bitonic) or the data contains NaNs
+    (whose scalar fallbacks the collapse cannot reproduce); the caller then
+    runs the ordinary recursion.
+    """
+    count = len(data)
+    if count <= 1:
+        return data.copy()
+    if data.dtype.kind == "f" and bool(np.isnan(data).any()):
+        return None
+    key = (count, ways, rules, fallback, depth)
+    plan = _MERGE_PLANS.get(key, _PLAN_MISSING)
+    if plan is _PLAN_MISSING:
+        leaves: list = []
+        charges = [0, 0]  # [merge/insertion compare+move, bitonic exchanges]
+        ok = _simulate_merge_subtree(
+            count, depth, 0, ways, rules, fallback, leaves, charges
+        )
+        plan = (tuple(leaves), charges[0], charges[1]) if ok else None
+        if len(_MERGE_PLANS) >= _MERGE_PLAN_CAP:
+            _MERGE_PLANS.clear()
+        _MERGE_PLANS[key] = plan
+    if plan is None:
+        return None
+    leaf_slices, merge_charge, bitonic_charge = plan
+    if bitonic_charge and bool((np.signbit(data) & (data == 0.0)).any()):
+        # Bitonic leaves require the negative-zero-free guarantee of the
+        # bitonic fast path; mixed-sign zeros take the real recursion.
+        return None
+    total = merge_charge
+    for start, end in leaf_slices:
+        total += _count_inversions(data[start:end]) + (end - start)
+    charge(float(total), "compare")
+    charge(float(total), "move")
+    if bitonic_charge:
+        charge(float(bitonic_charge), "compare_exchange")
+    return np.sort(data, kind="stable")
+
+
+def _simulate_merge_subtree(
+    size: int,
+    depth: int,
+    offset: int,
+    ways_param: int,
+    rules: tuple,
+    fallback: str,
+    leaves: list,
+    charges: list,
+) -> bool:
+    """Walk the dispatcher's recursion on sizes alone.  Appends insertion
+    leaves as ``(start, end)`` offsets into the original segment, accumulates
+    ``charges[0]`` (merge compare/move) and ``charges[1]`` (bitonic
+    compare-exchanges, data-independent by construction), and returns False
+    if any node would pick a data-dependent algorithm."""
+    if size <= 1:
+        return True
+    choice = fallback
+    for cutoff, name in rules:
+        if size < cutoff:
+            choice = name
+            break
+    if depth >= MAX_RECURSION_DEPTH:
+        choice = "insertion_sort"
+    if choice == "insertion_sort":
+        leaves.append((offset, offset + size))
+        return True
+    if choice == "bitonic_sort":
+        padded = 1 << int(math.ceil(math.log2(size)))
+        stages = int(math.log2(padded))
+        charges[1] += (stages * (stages + 1) // 2) * (padded // 2)
+        return True
+    if choice != "merge_sort":
+        return False
+    ways = max(2, min(int(ways_param), size))
+    boundaries = _merge_boundaries(size, ways)
+    sizes = []
+    for start, end in zip(boundaries[:-1], boundaries[1:]):
+        if end > start:
+            if not _simulate_merge_subtree(
+                end - start, depth + 1, offset + start, ways_param, rules,
+                fallback, leaves, charges,
+            ):
+                return False
+            sizes.append(int(end - start))
+    while len(sizes) > 1:
+        merged_sizes = []
+        for i in range(0, len(sizes) - 1, 2):
+            pair = sizes[i] + sizes[i + 1]
+            charges[0] += pair
+            merged_sizes.append(pair)
+        if len(sizes) % 2 == 1:
+            merged_sizes.append(sizes[-1])
+        sizes = merged_sizes
+    return True
+
+
+#: Memoized chunk boundaries for :func:`merge_sort`, keyed by
+#: ``(count, ways)``.  The same segment sizes recur across tens of thousands
+#: of recursive calls, so the ``np.linspace`` is paid once per distinct size.
+_MERGE_BOUNDS: dict = {}
+_MERGE_BOUNDS_CAP = 4096
+
+
+def _merge_boundaries(count: int, ways: int) -> np.ndarray:
+    key = (count, ways)
+    bounds = _MERGE_BOUNDS.get(key)
+    if bounds is None:
+        bounds = np.linspace(0, count, ways + 1, dtype=int)
+        if len(_MERGE_BOUNDS) >= _MERGE_BOUNDS_CAP:
+            _MERGE_BOUNDS.clear()
+        _MERGE_BOUNDS[key] = bounds
+    return bounds
+
+
 def _merge_two(left: np.ndarray, right: np.ndarray) -> np.ndarray:
     """Merge two sorted arrays (vectorized textbook merge)."""
     total = len(left) + len(right)
@@ -169,14 +382,10 @@ def _merge_two(left: np.ndarray, right: np.ndarray) -> np.ndarray:
         return left.copy()
     charge(total, "compare")
     charge(total, "move")
-    result = np.empty(total, dtype=left.dtype)
-    # Destination positions follow from counting, for each element, how many
-    # elements of the other run precede it.
-    left_positions = np.arange(len(left)) + np.searchsorted(right, left, side="left")
-    right_positions = np.arange(len(right)) + np.searchsorted(left, right, side="right")
-    result[left_positions] = left
-    result[right_positions] = right
-    return result
+    # A stable sort of the concatenation IS the stable merge: left elements
+    # precede equal right elements and each run's internal order is kept --
+    # identical output to the positional searchsorted merge, one kernel call.
+    return np.sort(np.concatenate([left, right]), kind="stable")
 
 
 #: Quantization grid used to derive radix keys from floating-point values.
@@ -207,23 +416,24 @@ def radix_sort(data: np.ndarray, bits_per_pass: int = 8) -> np.ndarray:
         return data.copy()
     grid = (1 << RADIX_GRID_BITS) - 1
     quantized = ((data - low) / (high - low) * grid).astype(np.int64)
-    # Dictionary-encode the quantized values so the radix passes only need to
-    # cover the bits of the *occupied* key space (one hashing pass, charged
+    # Dictionary-encoding the quantized values lets the radix passes cover
+    # only the bits of the *occupied* key space (one hashing pass, charged
     # linearly); duplicate-heavy and narrow-range inputs therefore need fewer
     # passes, which is the input-sensitive behaviour the benchmark exploits.
-    distinct_keys, keys = np.unique(quantized, return_inverse=True)
+    # The dense rank codes order exactly like the quantized values, and LSD
+    # radix with stable per-digit passes computes exactly the stable sort
+    # permutation of those codes -- so one stable argsort of the quantized
+    # keys replaces dictionary construction and pass loop alike, and the
+    # distinct-key count falls out of the sorted keys.  The per-pass charge
+    # is data-independent (2n + digit-space histogram), so the aggregate
+    # equals the incremental sum bit-for-bit (integer-valued floats).
     charge(2.0 * count, "dictionary")
-    key_bits = max(1, int(math.ceil(math.log2(max(len(distinct_keys), 2)))))
+    indices = np.argsort(quantized, kind="stable")
+    sorted_keys = quantized[indices]
+    n_distinct = 1 + int(np.count_nonzero(sorted_keys[1:] != sorted_keys[:-1]))
+    key_bits = max(1, int(math.ceil(math.log2(max(n_distinct, 2)))))
     passes = max(1, int(math.ceil(key_bits / bits_per_pass)))
-
-    indices = np.arange(count)
-    mask = (1 << bits_per_pass) - 1
-    for pass_index in range(passes):
-        digits = (keys >> (pass_index * bits_per_pass)) & mask
-        stable_order = np.argsort(digits, kind="stable")
-        keys = keys[stable_order]
-        indices = indices[stable_order]
-        charge(2.0 * count + float(1 << bits_per_pass), "bucket")
+    charge(passes * (2.0 * count + float(1 << bits_per_pass)), "bucket")
     nearly_sorted = data[indices]
     # Values that share a quantized key are still unordered among themselves;
     # a linear-scan insertion pass fixes them at (charged) cost proportional
@@ -243,29 +453,66 @@ def bitonic_sort(data: np.ndarray) -> np.ndarray:
     if count <= 1:
         return data.copy()
     size = 1 << int(math.ceil(math.log2(count)))
+    values = np.asarray(data, dtype=float)
+    if not (
+        bool(np.isnan(values).any())
+        or (
+            bool((values == 0.0).any())
+            and bool((np.signbit(values) & (values == 0.0)).any())
+        )
+    ):
+        # Fast path: on NaN-free data with no negative zeros the network's
+        # output is exactly ``np.sort`` (equal values then have identical bit
+        # patterns, so the network's unstable exchanges are unobservable), and
+        # its charge is data-independent: substages * size/2 compare-exchanges.
+        # size/2 is a power of two, so the single product equals the sum of
+        # the per-substage charges bit-for-bit.
+        stages = int(math.log2(size))
+        charge((stages * (stages + 1) // 2) * (size / 2), "compare_exchange")
+        return np.sort(values)
     padded = np.full(size, np.inf, dtype=float)
-    padded[:count] = data
+    padded[:count] = values
 
-    stages = int(math.log2(size))
-    for stage in range(1, stages + 1):
-        for substage in range(stage, 0, -1):
-            distance = 1 << (substage - 1)
-            indices = np.arange(size)
-            partners = indices ^ distance
-            active = partners > indices
-            ascending = ((indices >> stage) & 1) == 0
-            left = indices[active]
-            right = partners[active]
-            keep_ascending = ascending[active]
-            a = padded[left]
-            b = padded[right]
-            swap = np.where(keep_ascending, a > b, a < b)
-            new_a = np.where(swap, b, a)
-            new_b = np.where(swap, a, b)
-            padded[left] = new_a
-            padded[right] = new_b
-            charge(size / 2, "compare_exchange")
+    for distance, ascending_rows in _bitonic_plan(size):
+        # The active pairs at this substage are (i, i ^ distance) with the
+        # distance bit of i clear -- i.e. columns (j, j + distance) of the
+        # array viewed as rows of 2*distance consecutive elements.  A whole
+        # row sits inside one direction block, so ascending is per-row.
+        view = padded.reshape(-1, 2 * distance)
+        a = view[:, :distance]
+        b = view[:, distance:]
+        swap = np.where(ascending_rows, a > b, a < b)
+        new_a = np.where(swap, b, a)
+        new_b = np.where(swap, a, b)
+        view[:, :distance] = new_a
+        view[:, distance:] = new_b
+        charge(size / 2, "compare_exchange")
     return padded[:count]
+
+
+#: Memoized compare-exchange schedules keyed by (power-of-two) network size:
+#: a list of ``(distance, ascending-per-row column)`` entries, one per
+#: substage.  Sizes repeat heavily across inputs, so the index arithmetic is
+#: paid once per size rather than once per substage per call.
+_BITONIC_PLANS: dict = {}
+_BITONIC_PLAN_CAP = 64
+
+
+def _bitonic_plan(size: int):
+    plan = _BITONIC_PLANS.get(size)
+    if plan is None:
+        plan = []
+        stages = int(math.log2(size))
+        for stage in range(1, stages + 1):
+            for substage in range(stage, 0, -1):
+                distance = 1 << (substage - 1)
+                row_starts = np.arange(size // (2 * distance)) * (2 * distance)
+                ascending = (((row_starts >> stage) & 1) == 0)[:, None]
+                plan.append((distance, ascending))
+        if len(_BITONIC_PLANS) >= _BITONIC_PLAN_CAP:
+            _BITONIC_PLANS.clear()
+        _BITONIC_PLANS[size] = plan
+    return plan
 
 
 def is_sorted(data: np.ndarray) -> bool:

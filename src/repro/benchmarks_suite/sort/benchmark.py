@@ -70,24 +70,46 @@ def run_sort(config: Configuration, data: np.ndarray) -> np.ndarray:
     radix_bits = int(config["radix_bits"])
     pivot_rng = np.random.default_rng(12345)
 
+    # The dispatcher runs for every recursive sub-problem -- hundreds of
+    # thousands of calls per measurement batch -- so the selector's rule list
+    # is flattened to plain tuples and the algorithm functions are pre-bound,
+    # replacing dataclass attribute walks and module lookups with local reads.
+    rules = tuple((rule.cutoff, rule.choice) for rule in selector.rules)
+    fallback = selector.fallback
+    max_depth = algorithms.MAX_RECURSION_DEPTH
+    insertion = algorithms.insertion_sort
+    quick = algorithms.quick_sort
+    merge = algorithms.merge_sort
+    merge_collapsed = algorithms.merge_sort_collapsed
+    radix = algorithms.radix_sort
+    bitonic = algorithms.bitonic_sort
+
     def dispatch(segment: np.ndarray, depth: int) -> np.ndarray:
-        if len(segment) <= 1:
+        size = len(segment)
+        if size <= 1:
             return segment.copy()
-        choice = selector.select(len(segment))
-        if depth >= algorithms.MAX_RECURSION_DEPTH:
+        choice = fallback
+        for cutoff, name in rules:
+            if size < cutoff:
+                choice = name
+                break
+        if depth >= max_depth:
             choice = "insertion_sort"
         if choice == "insertion_sort":
-            return algorithms.insertion_sort(segment)
+            return insertion(segment)
         if choice == "quick_sort":
-            return algorithms.quick_sort(
+            return quick(
                 segment, dispatch, depth, pivot_rule=pivot_rule, rng=pivot_rng
             )
         if choice == "merge_sort":
-            return algorithms.merge_sort(segment, dispatch, depth, ways=merge_ways)
+            collapsed = merge_collapsed(segment, depth, merge_ways, rules, fallback)
+            if collapsed is not None:
+                return collapsed
+            return merge(segment, dispatch, depth, ways=merge_ways)
         if choice == "radix_sort":
-            return algorithms.radix_sort(segment, bits_per_pass=radix_bits)
+            return radix(segment, bits_per_pass=radix_bits)
         if choice == "bitonic_sort":
-            return algorithms.bitonic_sort(segment)
+            return bitonic(segment)
         raise ValueError(f"unknown sort choice {choice!r}")
 
     return dispatch(np.asarray(data, dtype=float), 0)

@@ -251,6 +251,51 @@ def cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Profile one experiment run under cProfile and print the hot paths.
+
+    The starting point for every hot-path hunt: wraps the exact
+    ``run_experiment`` call the other commands make in ``cProfile`` and
+    prints the top-N functions by cumulative time.  ``--output`` saves the
+    printed table; ``--save-stats`` dumps the raw profile for ``pstats`` /
+    ``snakeviz``-style exploration.  Profiling inflates wall time several
+    fold, so the numbers rank hot paths; benchmark wall-clock comparisons
+    belong to ``benchmarks/``.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    if args.test not in registry():
+        print(f"unknown test {args.test!r}; use 'list' to see options", file=sys.stderr)
+        return 2
+    config = _experiment_config(args)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = run_experiment(args.test, config=config)
+    finally:
+        profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats(args.sort).print_stats(args.top)
+    table = stream.getvalue()
+    header = (
+        f"test: {args.test}\n"
+        f"two-level speedup: {result.mean_speedup('two_level'):.2f}x\n"
+        f"top {args.top} functions by {args.sort} time:\n"
+    )
+    print(header + table)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(header + table)
+        print(f"profile table written to {args.output}")
+    if args.save_stats:
+        profiler.dump_stats(args.save_stats)
+        print(f"raw profile written to {args.save_stats}")
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Train the requested tests and serve their selectors over TCP."""
     import asyncio
@@ -370,6 +415,31 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("test")
     _add_scale_arguments(train)
     train.set_defaults(func=cmd_train)
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="profile one experiment run under cProfile (hot-path table)",
+    )
+    profile.add_argument("test")
+    profile.add_argument(
+        "--top", type=int, default=30, help="number of functions to print"
+    )
+    profile.add_argument(
+        "--sort",
+        choices=["cumulative", "tottime"],
+        default="cumulative",
+        help="profile ordering (default: cumulative)",
+    )
+    profile.add_argument(
+        "--output", default=None, help="also write the printed table to this file"
+    )
+    profile.add_argument(
+        "--save-stats",
+        default=None,
+        help="dump the raw cProfile stats here (pstats/snakeviz format)",
+    )
+    _add_scale_arguments(profile)
+    profile.set_defaults(func=cmd_profile)
 
     serve = subparsers.add_parser(
         "serve", help="train selectors and serve them over TCP (see docs/serving.md)"

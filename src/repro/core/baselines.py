@@ -26,6 +26,7 @@ import numpy as np
 from repro.core.dataset import PerformanceDataset
 from repro.core.level1 import Level1Result
 from repro.lang.program import PetaBricksProgram
+from repro.ml.kmeans import assign_clusters
 from repro.runtime import Runtime, default_runtime
 
 
@@ -233,12 +234,6 @@ class OneLevelLearning:
         """Nearest-Level-1-centroid landmark assignment for the given rows."""
         level1 = self._level1
         normalized = level1.normalizer.transform(dataset.features[rows])
-        centroids = level1.centroids
-        distances = (
-            np.sum(normalized ** 2, axis=1)[:, None]
-            + np.sum(centroids ** 2, axis=1)[None, :]
-            - 2.0 * normalized @ centroids.T
-        )
-        clusters = np.argmin(distances, axis=1)
+        clusters = assign_clusters(normalized, level1.centroids)
         mapping = np.asarray(level1.cluster_to_landmark, dtype=int)
         return mapping[clusters]

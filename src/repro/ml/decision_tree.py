@@ -25,6 +25,27 @@ from typing import List, Optional
 import numpy as np
 
 
+def _sorted_quantile(sorted_values: np.ndarray, quantiles: np.ndarray) -> np.ndarray:
+    """``np.quantile`` (linear method) on already-sorted data, bit-for-bit.
+
+    Replicates NumPy's virtual-index arithmetic and its two-sided lerp
+    (which switches to the ``b - (b-a)*(1-t)`` form at ``t >= 0.5``), so the
+    results match ``np.quantile(values, quantiles)`` exactly while skipping
+    the internal partition.
+    """
+    n = sorted_values.shape[0]
+    virtual = quantiles * (n - 1)
+    previous = np.floor(virtual)
+    gamma = virtual - previous
+    lower = sorted_values[previous.astype(np.int64)]
+    upper = sorted_values[np.ceil(virtual).astype(np.int64)]
+    diff = upper - lower
+    result = lower + diff * gamma
+    high = gamma >= 0.5
+    result[high] = upper[high] - diff[high] * (1.0 - gamma[high])
+    return result
+
+
 @dataclass
 class _Node:
     """A tree node; leaves carry a prediction, internal nodes a split."""
@@ -79,6 +100,7 @@ class DecisionTreeClassifier:
         self.cost_matrix = None if cost_matrix is None else np.asarray(cost_matrix, dtype=float)
         self.random_state = random_state
         self._root: Optional[_Node] = None
+        self._flat_cache: Optional[tuple] = None
         self.n_classes_: int = 0
         self.classes_: Optional[np.ndarray] = None
 
@@ -103,17 +125,46 @@ class DecisionTreeClassifier:
                     "cost_matrix is smaller than the number of classes "
                     f"({self.cost_matrix.shape} vs {self.n_classes_})"
                 )
-        self._root = self._grow(X, y, depth=0)
+        # Presort every column once (stable); each node's sorted order is the
+        # root order filtered by membership -- identical to re-sorting the
+        # node's rows (stable sort of a subsequence preserves the original
+        # relative order of equal elements), without the per-node argsort.
+        self._fit_X = X
+        self._fit_y = y
+        orders = [np.argsort(X[:, f], kind="stable") for f in range(X.shape[1])]
+        try:
+            self._root = self._grow(orders, depth=0)
+        finally:
+            del self._fit_X, self._fit_y
+        self._flat_cache = None
         return self
 
     def predict(self, X: np.ndarray) -> np.ndarray:
-        """Predict a class label for every row of ``X``."""
+        """Predict a class label for every row of ``X`` (vectorized).
+
+        Whole chunks descend the flattened tree together: at each step every
+        still-internal row gathers its node's feature and threshold and moves
+        to a child, so the work per tree level is a few array ops instead of
+        a Python node walk per row.  Identical comparisons, identical labels.
+        """
         if self._root is None:
             raise RuntimeError("classifier is not fitted")
         X = np.asarray(X, dtype=float)
         if X.ndim == 1:
             X = X.reshape(1, -1)
-        return np.array([self._predict_one(row) for row in X], dtype=int)
+        if X.shape[0] == 0:
+            return np.empty(0, dtype=int)
+        features, thresholds, lefts, rights, predictions = self._flat()
+        nodes = np.zeros(X.shape[0], dtype=np.int64)
+        while True:
+            internal = features[nodes] >= 0
+            if not internal.any():
+                break
+            rows = np.flatnonzero(internal)
+            at = nodes[rows]
+            go_left = X[rows, features[at]] <= thresholds[at]
+            nodes[rows] = np.where(go_left, lefts[at], rights[at])
+        return predictions[nodes].astype(int)
 
     def predict_one(self, x: np.ndarray) -> int:
         """Predict the class label of a single feature vector."""
@@ -138,13 +189,22 @@ class DecisionTreeClassifier:
     def _class_counts(self, y: np.ndarray) -> np.ndarray:
         return np.bincount(y, minlength=self.n_classes_).astype(float)
 
+    def _expected_costs(self, counts: np.ndarray) -> np.ndarray:
+        """Expected cost of predicting each class: ``sum_i counts[i] * C[i, j]``.
+
+        Accepts a single ``(n_classes,)`` count vector or a stacked
+        ``(n, n_classes)`` matrix.  Both shapes reduce over the true-class
+        axis with the same in-order accumulation, so the batched threshold
+        scan and the one-vector-at-a-time path produce bit-identical costs.
+        """
+        matrix = self.cost_matrix[: self.n_classes_, : self.n_classes_]
+        return (counts[..., :, None] * matrix).sum(axis=-2)
+
     def _leaf_prediction(self, counts: np.ndarray) -> int:
         """The class minimizing expected cost under the node's distribution."""
         if self.cost_matrix is None:
             return int(np.argmax(counts))
-        # expected cost of predicting j = sum_i counts[i] * C[i, j]
-        expected = counts @ self.cost_matrix[: self.n_classes_, : self.n_classes_]
-        return int(np.argmin(expected))
+        return int(np.argmin(self._expected_costs(counts)))
 
     def _node_impurity(self, counts: np.ndarray) -> float:
         """Expected cost (or Gini impurity) of the best single prediction."""
@@ -154,10 +214,21 @@ class DecisionTreeClassifier:
         if self.cost_matrix is None:
             probabilities = counts / total
             return float(1.0 - np.sum(probabilities ** 2))
-        expected = counts @ self.cost_matrix[: self.n_classes_, : self.n_classes_]
-        return float(np.min(expected) / total)
+        return float(np.min(self._expected_costs(counts)) / total)
 
-    def _grow(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+    def _impurity_rows(self, counts: np.ndarray, totals: np.ndarray) -> np.ndarray:
+        """:meth:`_node_impurity` for a stack of count vectors at once.
+
+        ``totals`` must be the (positive) per-row count sums; every row's
+        value is bit-identical to the scalar helper's.
+        """
+        if self.cost_matrix is None:
+            probabilities = counts / totals[:, None]
+            return 1.0 - np.sum(probabilities ** 2, axis=1)
+        return np.min(self._expected_costs(counts), axis=1) / totals
+
+    def _grow(self, orders: List[np.ndarray], depth: int) -> _Node:
+        y = self._fit_y[orders[0]]
         counts = self._class_counts(y)
         prediction = self._leaf_prediction(counts)
         node = _Node(prediction=prediction)
@@ -165,48 +236,64 @@ class DecisionTreeClassifier:
         if (
             depth >= self.max_depth
             or y.shape[0] < self.min_samples_split
-            or np.unique(y).shape[0] <= 1
+            or np.count_nonzero(counts) <= 1
         ):
             return node
 
-        split = self._best_split(X, y, counts)
+        split = self._best_split(orders, counts)
         if split is None:
             return node
         feature, threshold = split
-        mask = X[:, feature] <= threshold
+        go_left = self._fit_X[:, feature] <= threshold
         node.feature = feature
         node.threshold = threshold
-        node.left = self._grow(X[mask], y[mask], depth + 1)
-        node.right = self._grow(X[~mask], y[~mask], depth + 1)
+        node.left = self._grow([o[go_left[o]] for o in orders], depth + 1)
+        node.right = self._grow([o[~go_left[o]] for o in orders], depth + 1)
         return node
 
     def _best_split(
-        self, X: np.ndarray, y: np.ndarray, parent_counts: np.ndarray
+        self, orders: List[np.ndarray], parent_counts: np.ndarray
     ) -> Optional[tuple]:
-        n_samples, n_features = X.shape
+        n_samples = orders[0].shape[0]
+        n_features = len(orders)
         parent_impurity = self._node_impurity(parent_counts)
         best_gain = 1e-12
         best: Optional[tuple] = None
 
         for feature in range(n_features):
-            column = X[:, feature]
-            thresholds = self._candidate_thresholds(column)
-            for threshold in thresholds:
-                mask = column <= threshold
-                n_left = int(mask.sum())
-                n_right = n_samples - n_left
-                if n_left < self.min_samples_leaf or n_right < self.min_samples_leaf:
-                    continue
-                left_counts = self._class_counts(y[mask])
-                right_counts = parent_counts - left_counts
-                impurity = (
-                    n_left * self._node_impurity(left_counts)
-                    + n_right * self._node_impurity(right_counts)
-                ) / n_samples
-                gain = parent_impurity - impurity
-                if gain > best_gain:
-                    best_gain = gain
-                    best = (feature, float(threshold))
+            order = orders[feature]
+            column = self._fit_X[order, feature]  # ascending by construction
+            thresholds = self._candidate_thresholds_sorted(column)
+            if thresholds.shape[0] == 0:
+                continue
+            # The left side of threshold t is exactly the first
+            # searchsorted(t) samples of the sorted column, so cumulative
+            # one-hot label counts give every threshold's (integer-exact)
+            # class counts in one pass instead of a mask + bincount per
+            # threshold.
+            cumulative = np.zeros((n_samples + 1, self.n_classes_), dtype=np.int64)
+            cumulative[np.arange(1, n_samples + 1), self._fit_y[order]] = 1
+            np.cumsum(cumulative, axis=0, out=cumulative)
+            n_left = np.searchsorted(column, thresholds, side="right")
+            n_right = n_samples - n_left
+            valid = (n_left >= self.min_samples_leaf) & (n_right >= self.min_samples_leaf)
+            if not valid.any():
+                continue
+            candidates = np.flatnonzero(valid)
+            left_counts = cumulative[n_left[candidates]].astype(float)
+            right_counts = parent_counts - left_counts
+            impurity = (
+                n_left[candidates] * self._impurity_rows(left_counts, left_counts.sum(axis=1))
+                + n_right[candidates] * self._impurity_rows(right_counts, right_counts.sum(axis=1))
+            ) / n_samples
+            gains = parent_impurity - impurity
+            # Replicates the scalar scan's tie-breaking: the running best is
+            # replaced only on strict improvement, so within a feature the
+            # winner is the *first* threshold attaining the maximum gain.
+            pick = int(np.argmax(gains))
+            if gains[pick] > best_gain:
+                best_gain = float(gains[pick])
+                best = (feature, float(thresholds[candidates[pick]]))
         return best
 
     def _candidate_thresholds(self, column: np.ndarray) -> np.ndarray:
@@ -218,6 +305,73 @@ class DecisionTreeClassifier:
             return midpoints
         quantiles = np.linspace(0.0, 1.0, self.max_thresholds + 2)[1:-1]
         return np.unique(np.quantile(column, quantiles))
+
+    def _candidate_thresholds_sorted(self, column: np.ndarray) -> np.ndarray:
+        """:meth:`_candidate_thresholds` for an already-ascending column.
+
+        Distinct values fall out of a run-boundary scan and quantiles out of
+        direct order-statistic interpolation, skipping the sort/partition
+        that ``np.unique``/``np.quantile`` would redo per node per feature.
+        NaN-bearing columns (whose NaNs ``np.unique`` collapses but a
+        ``!=`` scan would not) fall back to the reference implementation.
+        """
+        n = column.shape[0]
+        if n == 0:
+            return np.empty(0)
+        if column[-1] != column[-1]:  # sorted => NaNs, if any, are at the end
+            return self._candidate_thresholds(column)
+        keep = np.empty(n, dtype=bool)
+        keep[0] = True
+        np.not_equal(column[1:], column[:-1], out=keep[1:])
+        unique = column[keep]
+        if unique.shape[0] <= 1:
+            return np.empty(0)
+        midpoints = (unique[:-1] + unique[1:]) / 2.0
+        if midpoints.shape[0] <= self.max_thresholds:
+            return midpoints
+        quantiles = np.linspace(0.0, 1.0, self.max_thresholds + 2)[1:-1]
+        return np.unique(_sorted_quantile(column, quantiles))
+
+    def _flat(self) -> tuple:
+        """Array view of the tree for vectorized descent.
+
+        Returns ``(features, thresholds, lefts, rights, predictions)`` where
+        ``features[i] == -1`` marks a leaf.  Built lazily and memoized
+        (``getattr`` so trees unpickled from older caches work too).
+        """
+        cache = getattr(self, "_flat_cache", None)
+        if cache is None:
+            features: List[int] = []
+            thresholds: List[float] = []
+            lefts: List[int] = []
+            rights: List[int] = []
+            predictions: List[int] = []
+
+            def visit(node: _Node) -> int:
+                index = len(features)
+                features.append(-1)
+                thresholds.append(0.0)
+                lefts.append(0)
+                rights.append(0)
+                predictions.append(node.prediction)
+                if not node.is_leaf:
+                    features[index] = node.feature
+                    thresholds[index] = node.threshold
+                    lefts[index] = visit(node.left)  # type: ignore[arg-type]
+                    rights[index] = visit(node.right)  # type: ignore[arg-type]
+                return index
+
+            assert self._root is not None
+            visit(self._root)
+            cache = (
+                np.asarray(features, dtype=np.int64),
+                np.asarray(thresholds, dtype=float),
+                np.asarray(lefts, dtype=np.int64),
+                np.asarray(rights, dtype=np.int64),
+                np.asarray(predictions, dtype=np.int64),
+            )
+            self._flat_cache = cache
+        return cache
 
     def _predict_one(self, x: np.ndarray) -> int:
         node = self._root

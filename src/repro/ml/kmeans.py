@@ -35,6 +35,10 @@ class KMeansResult:
         """Number of clusters."""
         return int(self.centroids.shape[0])
 
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Nearest-centroid cluster index for every row of ``X`` at once."""
+        return assign_clusters(np.asarray(X, dtype=float), self.centroids)
+
 
 class KMeans:
     """Lloyd's algorithm with k-means++ initialization.
@@ -145,6 +149,18 @@ class KMeans:
             new_sq = np.sum((X - centroids[i]) ** 2, axis=1)
             closest_sq = np.minimum(closest_sq, new_sq)
         return centroids
+
+
+def assign_clusters(X: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Batched nearest-centroid assignment (one distance matrix, one argmin).
+
+    This is the deployment-side "predict" of K-means: whole chunks of
+    feature vectors are labeled per call instead of row by row.
+    """
+    X = np.asarray(X, dtype=float)
+    if X.ndim == 1:
+        X = X.reshape(1, -1)
+    return np.argmin(_pairwise_sq_distances(X, centroids), axis=1)
 
 
 def _pairwise_sq_distances(X: np.ndarray, centroids: np.ndarray) -> np.ndarray:

@@ -110,16 +110,53 @@ class DiscretizedNaiveBayes:
         posterior = np.exp(log_posterior)
         return posterior / posterior.sum()
 
+    def log_likelihood_batch(self, feature: int, values: np.ndarray) -> np.ndarray:
+        """Per-class log likelihoods for a whole column of raw values.
+
+        Region assignment is one ``np.searchsorted`` over all rows; the
+        returned ``(n, n_classes)`` matrix's row ``i`` is bit-identical to
+        ``log_likelihood(feature, values[i])``.
+        """
+        self._check_fitted()
+        regions = self._assign_regions(np.asarray(values, dtype=float), self.edges_[feature])
+        return np.log(self.likelihoods_[feature])[regions]
+
+    def posterior_batch(
+        self, X: np.ndarray, features: Optional[Sequence[int]] = None
+    ) -> np.ndarray:
+        """Class posteriors for many observation rows in one log-space pass.
+
+        Args:
+            X: ``(n, len(features))`` raw feature values, one column per
+                observed feature.
+            features: the model feature index of each column; defaults to
+                ``0..n_features-1`` (all features, in order).
+
+        Returns:
+            ``(n, n_classes)`` posteriors; row ``i`` is bit-identical to
+            ``posterior(list(zip(features, X[i])))`` -- the log-likelihood
+            columns accumulate in the same order, and the max-shift /
+            exponentiation / normalization apply row-wise identically.
+        """
+        self._check_fitted()
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        if features is None:
+            features = range(self.n_features_)
+        log_posterior = np.tile(self.log_prior(), (X.shape[0], 1))
+        for column, feature in enumerate(features):
+            log_posterior += self.log_likelihood_batch(int(feature), X[:, column])
+        log_posterior -= log_posterior.max(axis=1, keepdims=True)
+        posterior = np.exp(log_posterior)
+        return posterior / posterior.sum(axis=1, keepdims=True)
+
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Maximum-a-posteriori prediction using all features."""
         X = np.asarray(X, dtype=float)
         if X.ndim == 1:
             X = X.reshape(1, -1)
-        predictions = np.empty(X.shape[0], dtype=int)
-        for i, row in enumerate(X):
-            observations = list(enumerate(row))
-            predictions[i] = int(np.argmax(self.posterior(observations)))
-        return predictions
+        return np.argmax(self.posterior_batch(X), axis=1).astype(int)
 
     # -- internals ------------------------------------------------------
 

@@ -27,8 +27,15 @@ import pickle
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.lang.config import Configuration
 from repro.lang.program import PetaBricksProgram, RunResult
+
+try:  # pragma: no cover - present on every supported platform
+    from multiprocessing import shared_memory as _shm_module
+except ImportError:  # pragma: no cover - minimal builds without _posixshmem
+    _shm_module = None  # type: ignore[assignment]
 
 #: A single unit of work: run the program with this configuration on this input.
 Task = Tuple[Configuration, Any]
@@ -255,6 +262,73 @@ def _process_worker_run(task: Task) -> RunResult:
     return _WORKER_PROGRAM.run(config, program_input)
 
 
+def _unregister_shm(segment: Any) -> None:
+    """Drop an attach-time resource-tracker registration.
+
+    On POSIX (through Python 3.12) *attaching* to a shared-memory segment
+    registers it with the process's resource tracker just like creating it
+    does.  The parent created the segment and owns the unlink, so the
+    bookkeeping depends on the start method:
+
+    * fork (the Linux default): workers inherit the parent's tracker, whose
+      name set deduplicates all the attach registrations -- the creator's
+      ``unlink`` is the single balanced removal, and a worker-side
+      unregister would race it into KeyErrors.  Do nothing.
+    * spawn/forkserver: each worker runs its own tracker, which would try
+      to unlink the (already removed) segment at pool shutdown and print
+      leak warnings.  Unregister after closing.
+    """
+    try:
+        import multiprocessing
+
+        if multiprocessing.get_start_method() == "fork":
+            return
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker variations across platforms
+        pass
+
+
+#: A lease of measurement work: ``(start, tasks, shm_name, total)`` where
+#: ``start`` is the flat offset of the first task in the dispatch and
+#: ``shm_name`` names a parent-created ``(2, total)`` float64 block (times
+#: row 0, accuracies row 1), or None when shared memory is unavailable.
+MeasureLease = Tuple[int, Sequence[Task], Optional[str], int]
+
+
+def _process_worker_measure(lease: MeasureLease) -> Tuple[str, int, Optional[Any]]:
+    """Run one lease of measurement tasks, shipping results via shared memory.
+
+    The result matrix slice is written directly into the parent-created
+    shared block, so the return value is a few bytes -- ``("shm", start,
+    None)`` -- instead of one pickled :class:`RunResult` per task.  When the
+    block is unavailable (no shared memory on this platform, or the attach
+    failed) the slice comes back pickled as ``("data", start, block)``.
+    """
+    assert _WORKER_PROGRAM is not None, "worker pool used before initialization"
+    program = _WORKER_PROGRAM
+    start, tasks, shm_name, total = lease
+    block = np.empty((2, len(tasks)), dtype=np.float64)
+    for index, (config, program_input) in enumerate(tasks):
+        result = program.run(config, program_input)
+        block[0, index] = result.time
+        block[1, index] = result.accuracy
+    if shm_name is not None and _shm_module is not None:
+        try:
+            segment = _shm_module.SharedMemory(name=shm_name)
+        except Exception:
+            return ("data", start, block)
+        try:
+            matrix = np.ndarray((2, total), dtype=np.float64, buffer=segment.buf)
+            matrix[:, start : start + len(tasks)] = block
+        finally:
+            segment.close()
+            _unregister_shm(segment)
+        return ("shm", start, None)
+    return ("data", start, block)
+
+
 class ProcessExecutor(BaseExecutor):
     """Run tasks on a process pool, falling back to serial when pickling fails.
 
@@ -422,6 +496,111 @@ class ProcessExecutor(BaseExecutor):
                 if pool is None:
                     return SerialExecutor().run_batch(program, tasks)
         raise AssertionError("unreachable")  # pragma: no cover
+
+    def run_measure(
+        self,
+        program: PetaBricksProgram,
+        tasks: Sequence[Task],
+        columns: int = 1,
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Execute measurement tasks, returning ``(times, accuracies)`` arrays.
+
+        The matrix counterpart of :meth:`run_batch` for callers that only
+        need the two floats of each run (:meth:`repro.runtime.Runtime.
+        measure`): the parent allocates one ``(2, len(tasks))`` float64
+        shared-memory block per dispatch, workers write their lease's slice
+        directly into it, and the pool's return traffic shrinks to a
+        per-lease acknowledgement instead of a pickled
+        :class:`~repro.lang.program.RunResult` per task.  When shared
+        memory is unavailable (platform without ``_posixshmem``, exhausted
+        ``/dev/shm``) every lease transparently returns its slice pickled.
+
+        ``columns`` is the measurement matrix's K; leases are aligned to
+        whole rows so each worker fills contiguous ``(rows, K)`` blocks.
+
+        Returns None -- with nothing executed -- when the program or tasks
+        cannot be shipped to workers; the caller should fall back to
+        :meth:`run_batch` (whose serial fallback handles that case).  A
+        pool that breaks mid-dispatch is rebuilt and the dispatch retried
+        once (runs are pure, so re-execution is sound); a second break
+        finishes the batch serially.
+        """
+        if not tasks:
+            return np.empty(0), np.empty(0)
+        pool = self._pool_for(program)
+        if pool is None:
+            return None
+        try:
+            pickle.dumps(tasks[0])
+        except Exception as error:
+            self.fallback_reason = f"task not picklable: {type(error).__name__}"
+            return None
+
+        total = len(tasks)
+        columns = max(1, columns)
+        rows = max(1, total // columns)
+        lease_tasks = _call_chunksize(rows, self.workers) * columns
+        segment = None
+        shm_name: Optional[str] = None
+        if _shm_module is not None:
+            try:
+                segment = _shm_module.SharedMemory(
+                    create=True, size=2 * total * np.dtype(np.float64).itemsize
+                )
+                shm_name = segment.name
+            except Exception:  # exhausted /dev/shm etc: pickled fallback
+                segment = None
+        try:
+            leases: List[MeasureLease] = [
+                (start, tasks[start : start + lease_tasks], shm_name, total)
+                for start in range(0, total, lease_tasks)
+            ]
+            answers: Optional[List[Tuple[str, int, Optional[Any]]]] = None
+            for retry in (False, True):
+                try:
+                    answers = list(pool.map(_process_worker_measure, leases, chunksize=1))
+                except (pickle.PicklingError, TypeError, AttributeError) as error:
+                    self.fallback_reason = (
+                        f"batch not picklable: {type(error).__name__}"
+                    )
+                    break
+                except concurrent.futures.process.BrokenProcessPool as error:
+                    self.fallback_reason = f"process pool broke: {error}"
+                    self._shutdown_pool()
+                    if retry:
+                        break
+                    pool = self._pool_for(program)
+                    if pool is None:
+                        break
+                    continue
+                break
+            if answers is None:
+                # Transport failed after the probe succeeded (broken pool
+                # twice, or a pathological mid-batch pickling error): finish
+                # the whole dispatch serially.  Runs are pure, so any work a
+                # half-finished attempt did is simply recomputed.
+                serial = SerialExecutor().run_batch(program, tasks)
+                times = np.fromiter(
+                    (r.time for r in serial), dtype=np.float64, count=total
+                )
+                accuracies = np.fromiter(
+                    (r.accuracy for r in serial), dtype=np.float64, count=total
+                )
+                return times, accuracies
+            if segment is not None:
+                matrix = np.ndarray(
+                    (2, total), dtype=np.float64, buffer=segment.buf
+                )
+            else:
+                matrix = np.empty((2, total), dtype=np.float64)
+            for kind, start, block in answers:
+                if kind == "data":
+                    matrix[:, start : start + block.shape[1]] = block
+            return matrix[0].copy(), matrix[1].copy()
+        finally:
+            if segment is not None:
+                segment.close()
+                segment.unlink()
 
     def _shutdown_pool(self) -> None:
         if self._pool is not None:

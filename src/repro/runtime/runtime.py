@@ -383,10 +383,22 @@ class Runtime:
         The matrix itself (two ``(n, k)`` float arrays) is the only
         O(N x K) allocation.  Runs are pure functions of their content, so
         enumeration order never affects any value in the matrices.
+
+        On a cache-less process-executor runtime the batch takes the shared
+        -memory matrix path instead (:meth:`_measure_via_matrix`): workers
+        write ``(rows, K)`` result blocks straight into a parent-owned
+        shared block and whole chunks fold into the matrices by array
+        slicing, replacing one pickled result object per run with two
+        flat float64 rows per dispatch.  Values are bit-identical on every
+        path.
         """
         if self._rows_distributable(program, configs, inputs):
             return self._measure_via_descriptors(program, configs, inputs)
         n, k = len(inputs), len(configs)
+        if self._matrix_transportable(program, configs, inputs):
+            matrices = self._measure_via_matrix(program, configs, inputs)
+            if matrices is not None:
+                return matrices
         pairs = (
             (config, program_input) for program_input in inputs for config in configs
         )
@@ -396,6 +408,73 @@ class Runtime:
             i, j = divmod(flat, k)
             times[i, j] = result.time
             accuracies[i, j] = result.accuracy
+        return {"times": times, "accuracies": accuracies}
+
+    def _matrix_transportable(
+        self, program: PetaBricksProgram, configs: Sequence[Configuration], inputs: Any
+    ) -> bool:
+        """Can this measure call use the shared-memory matrix transport?
+
+        Requires an executor exposing ``run_measure`` (the process pool) and
+        a cache-less runtime: a measurement run carries exactly two floats
+        (time, accuracy) beyond its output, so a matrix fully describes the
+        batch -- but a caching runtime must consult and fill the run cache
+        with keyed :class:`RunResult` entries, which the pair path does.
+        """
+        if self.cache is not None:
+            return False
+        if not hasattr(self.executor, "run_measure"):
+            return False
+        return len(inputs) > 0 and len(configs) > 0
+
+    def _measure_via_matrix(
+        self,
+        program: PetaBricksProgram,
+        configs: Sequence[Configuration],
+        inputs: Sequence[Any],
+    ) -> Optional[Dict[str, np.ndarray]]:
+        """Process-pool measure: fold shared-memory chunk blocks by slicing.
+
+        Chunks are row-aligned (``batch_chunk // K`` rows, whole batch when
+        streaming is off); the executor returns each chunk's times and
+        accuracies as flat float64 arrays shipped via shared memory, and
+        every chunk lands in the N x K matrices as one slice assignment
+        instead of chunk x K per-element stores.  Returns None -- with
+        nothing executed -- when the executor cannot ship the batch; the
+        caller falls back to the ordinary streamed pair path.
+        """
+        n, k = len(inputs), len(configs)
+        rows_per_chunk = max(1, self.batch_chunk // k) if self.batch_chunk else n
+        times = np.zeros((n, k))
+        accuracies = np.zeros((n, k))
+        flat_times = times.reshape(n * k)
+        flat_accuracies = accuracies.reshape(n * k)
+        for row in range(0, n, rows_per_chunk):
+            stop = min(row + rows_per_chunk, n)
+            piece = [
+                (config, program_input)
+                for program_input in inputs[row:stop]
+                for config in configs
+            ]
+            if self.batch_chunk:
+                self.telemetry.count("chunks_dispatched")
+            chunk = self.executor.run_measure(program, piece, columns=k)
+            if chunk is None:
+                if row == 0:
+                    return None  # nothing ran; the pair path handles fallback
+                # Later chunks of a homogeneous batch should never become
+                # unshippable, but if one does, finish it in-process rather
+                # than re-running the chunks that already executed.
+                results = [program.run(config, value) for config, value in piece]
+                chunk = (
+                    np.fromiter((r.time for r in results), dtype=np.float64),
+                    np.fromiter((r.accuracy for r in results), dtype=np.float64),
+                )
+            start = row * k
+            flat_times[start : start + len(piece)] = chunk[0]
+            flat_accuracies[start : start + len(piece)] = chunk[1]
+            self.telemetry.count("runs_requested", len(piece))
+            self.telemetry.count("runs_executed", len(piece))
         return {"times": times, "accuracies": accuracies}
 
     def _rows_distributable(

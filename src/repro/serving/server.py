@@ -434,7 +434,9 @@ class SelectorServer:
         if feedback is not None:
             from repro.adaptation.feedback import FeedbackRecord  # lazy: no cycle
 
-            values, _ = deployed.program.features.extract_vector(program_input)
+            # Single-row batch extraction: same numbers as extract_vector,
+            # through the vectorized chunk path the trainers use.
+            values = deployed.program.features.extract_batch([program_input])[0][0]
             feedback.append(
                 FeedbackRecord(
                     features=tuple(float(value) for value in values),

@@ -1,0 +1,135 @@
+"""Hypothesis parity: batched classifier predictions vs row-at-a-time.
+
+The tentpole's second layer scores whole chunks per call: the discretized
+naive Bayes assigns regions with one ``searchsorted`` over all rows and
+accumulates posteriors as a log-space matrix op, the decision tree descends
+the flattened tree with array gathers, and k-means assigns clusters with one
+distance matrix.  Each batched path must reproduce its scalar counterpart
+bit for bit -- including NaN observations and degenerate (constant)
+feature columns.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.decision_tree import DecisionTreeClassifier
+from repro.ml.kmeans import KMeans, assign_clusters
+from repro.ml.naive_bayes import DiscretizedNaiveBayes
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def training_data(draw, max_features=4, max_classes=4):
+    """A small (X, y) with occasional constant/duplicated columns."""
+    n_samples = draw(st.integers(min_value=3, max_value=24))
+    n_features = draw(st.integers(min_value=1, max_value=max_features))
+    n_classes = draw(st.integers(min_value=1, max_value=max_classes))
+    rows = draw(
+        st.lists(
+            st.lists(finite, min_size=n_features, max_size=n_features),
+            min_size=n_samples,
+            max_size=n_samples,
+        )
+    )
+    X = np.asarray(rows, dtype=float)
+    if draw(st.booleans()):
+        X[:, draw(st.integers(0, n_features - 1))] = draw(finite)  # degenerate
+    y = np.asarray(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n_classes - 1),
+                min_size=n_samples,
+                max_size=n_samples,
+            )
+        ),
+        dtype=int,
+    )
+    return X, y
+
+
+@st.composite
+def query_rows(draw, n_features):
+    """Query matrix rows, with NaN cells mixed in."""
+    n_queries = draw(st.integers(min_value=1, max_value=12))
+    cell = st.one_of(finite, st.just(float("nan")))
+    rows = draw(
+        st.lists(
+            st.lists(cell, min_size=n_features, max_size=n_features),
+            min_size=n_queries,
+            max_size=n_queries,
+        )
+    )
+    return np.asarray(rows, dtype=float)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.data())
+def test_naive_bayes_posterior_batch_matches_scalar(data):
+    X, y = data.draw(training_data())
+    model = DiscretizedNaiveBayes(n_regions=4).fit(X, y)
+    queries = data.draw(query_rows(X.shape[1]))
+    batched = model.posterior_batch(queries)
+    for row in range(queries.shape[0]):
+        scalar = model.posterior(list(enumerate(queries[row])))
+        np.testing.assert_array_equal(batched[row], scalar)
+    predictions = model.predict(queries)
+    np.testing.assert_array_equal(predictions, np.argmax(batched, axis=1))
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.data())
+def test_naive_bayes_feature_subset_batch_matches_scalar(data):
+    X, y = data.draw(training_data())
+    model = DiscretizedNaiveBayes(n_regions=3).fit(X, y)
+    n_features = X.shape[1]
+    subset = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n_features - 1),
+            min_size=1,
+            max_size=n_features,
+            unique=True,
+        )
+    )
+    queries = data.draw(query_rows(len(subset)))
+    batched = model.posterior_batch(queries, features=subset)
+    for row in range(queries.shape[0]):
+        scalar = model.posterior(list(zip(subset, queries[row])))
+        np.testing.assert_array_equal(batched[row], scalar)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.data())
+def test_decision_tree_batch_predict_matches_predict_one(data):
+    X, y = data.draw(training_data())
+    tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+    queries = data.draw(query_rows(X.shape[1]))
+    batched = tree.predict(queries)
+    scalar = np.array([tree.predict_one(row) for row in queries], dtype=int)
+    np.testing.assert_array_equal(batched, scalar)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.data())
+def test_kmeans_batch_assignment_matches_per_row(data):
+    X, _ = data.draw(training_data(max_features=3))
+    result = KMeans(n_clusters=3, random_state=0, n_init=1).fit(X)
+    queries = np.asarray(
+        data.draw(
+            st.lists(
+                st.lists(finite, min_size=X.shape[1], max_size=X.shape[1]),
+                min_size=1,
+                max_size=10,
+            )
+        ),
+        dtype=float,
+    )
+    batched = result.predict(queries)
+    per_row = np.array(
+        [assign_clusters(row.reshape(1, -1), result.centroids)[0] for row in queries],
+        dtype=int,
+    )
+    np.testing.assert_array_equal(batched, per_row)

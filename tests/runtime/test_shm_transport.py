@@ -1,0 +1,226 @@
+"""Tests for the shared-memory measurement-matrix transport.
+
+The tentpole's third layer: ``ProcessExecutor.run_measure`` ships chunk
+result matrices out of workers through ``multiprocessing.shared_memory``
+(with a pickled fallback), and ``Runtime.measure`` folds whole chunks into
+the N x K matrices by array slicing.  Every path must stay bit-identical to
+the serial reference.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.benchmarks_suite import get_benchmark
+from repro.lang.config import ConfigurationSpace, IntegerParameter
+from repro.lang.cost import charge
+from repro.lang.program import PetaBricksProgram
+from repro.runtime import ProcessExecutor, Runtime, SerialExecutor, ThreadExecutor
+import repro.runtime.executors as executors_module
+from repro.runtime.executors import (
+    _process_worker_init,
+    _process_worker_measure,
+)
+
+
+@pytest.fixture(scope="module")
+def sort_setup():
+    variant = get_benchmark("sort2")
+    program = variant.benchmark.program
+    inputs = variant.benchmark.generate_inputs(6, variant.variant, seed=0)
+    configs = [program.default_configuration()]
+    configs.append(program.config_space.sample(random.Random(7)))
+    return program, configs, inputs
+
+
+def serial_matrices(program, configs, inputs):
+    return Runtime(executor=SerialExecutor(), cache=None).measure(
+        program, configs, inputs
+    )
+
+
+def assert_identical(actual, expected):
+    assert np.array_equal(actual["times"], expected["times"])
+    assert np.array_equal(actual["accuracies"], expected["accuracies"])
+
+
+class TestRunMeasure:
+    def test_matches_serial_bitwise(self, sort_setup):
+        program, configs, inputs = sort_setup
+        tasks = [(c, i) for i in inputs for c in configs]
+        expected = SerialExecutor().run_batch(program, tasks)
+        with ProcessExecutor(workers=2) as executor:
+            matrices = executor.run_measure(program, tasks, columns=len(configs))
+            assert executor.fallback_reason is None
+        assert matrices is not None
+        times, accuracies = matrices
+        assert times.tolist() == [r.time for r in expected]
+        assert accuracies.tolist() == [r.accuracy for r in expected]
+
+    def test_empty_batch(self, sort_setup):
+        program, _, _ = sort_setup
+        with ProcessExecutor(workers=2) as executor:
+            times, accuracies = executor.run_measure(program, [])
+        assert times.size == 0 and accuracies.size == 0
+
+    def test_unpicklable_program_returns_none(self):
+        space = ConfigurationSpace([IntegerParameter("x", 1, 5)])
+        program = PetaBricksProgram(
+            "local", space, lambda config, _input: charge(float(config["x"]))
+        )
+        tasks = [(program.default_configuration(), None)] * 3
+        with ProcessExecutor(workers=2) as executor:
+            assert executor.run_measure(program, tasks) is None
+            assert "not picklable" in executor.fallback_reason
+
+    def test_pickled_fallback_when_shm_unavailable(self, sort_setup, monkeypatch):
+        program, configs, inputs = sort_setup
+        tasks = [(c, i) for i in inputs for c in configs]
+        expected = SerialExecutor().run_batch(program, tasks)
+        monkeypatch.setattr(executors_module, "_shm_module", None)
+        with ProcessExecutor(workers=2) as executor:
+            times, accuracies = executor.run_measure(
+                program, tasks, columns=len(configs)
+            )
+            assert executor.fallback_reason is None
+        assert times.tolist() == [r.time for r in expected]
+        assert accuracies.tolist() == [r.accuracy for r in expected]
+
+
+class TestWorkerLease:
+    """The worker-side lease protocol, driven in-process."""
+
+    def _program(self):
+        space = ConfigurationSpace([IntegerParameter("units", 1, 1000)])
+
+        def run(config, value):
+            charge(float(config["units"]) * value)
+            return value
+
+        return PetaBricksProgram("charger", space, run)
+
+    def test_writes_slice_into_shared_block(self):
+        shm_module = pytest.importorskip("multiprocessing.shared_memory")
+        program = self._program()
+        config = program.default_configuration().with_updates(units=3)
+        tasks = [(config, value) for value in (1.0, 2.0, 5.0)]
+        segment = shm_module.SharedMemory(create=True, size=2 * 5 * 8)
+        try:
+            _process_worker_init(program)
+            kind, start, payload = _process_worker_measure(
+                (2, tasks, segment.name, 5)
+            )
+            assert (kind, start, payload) == ("shm", 2, None)
+            matrix = np.ndarray((2, 5), dtype=np.float64, buffer=segment.buf)
+            assert matrix[0, 2:5].tolist() == [3.0, 6.0, 15.0]
+            assert matrix[1, 2:5].tolist() == [1.0, 1.0, 1.0]
+        finally:
+            _process_worker_init(None)
+            segment.close()
+            segment.unlink()
+
+    def test_pickled_payload_without_segment(self):
+        program = self._program()
+        config = program.default_configuration().with_updates(units=2)
+        tasks = [(config, value) for value in (1.0, 4.0)]
+        _process_worker_init(program)
+        try:
+            kind, start, block = _process_worker_measure((0, tasks, None, 2))
+        finally:
+            _process_worker_init(None)
+        assert kind == "data" and start == 0
+        assert block[0].tolist() == [2.0, 8.0]
+
+    def test_bad_segment_name_falls_back_to_pickle(self):
+        program = self._program()
+        config = program.default_configuration()
+        tasks = [(config, 2.0)]
+        _process_worker_init(program)
+        try:
+            kind, start, block = _process_worker_measure(
+                (0, tasks, "repro-no-such-segment", 1)
+            )
+        finally:
+            _process_worker_init(None)
+        assert kind == "data"
+        assert block.shape == (2, 1)
+
+
+class TestMeasureMatrixPath:
+    def test_process_measure_matches_serial(self, sort_setup):
+        program, configs, inputs = sort_setup
+        expected = serial_matrices(program, configs, inputs)
+        with Runtime(executor=ProcessExecutor(workers=2), cache=None) as runtime:
+            actual = runtime.measure(program, configs, inputs)
+            assert runtime.executor.fallback_reason is None
+        assert_identical(actual, expected)
+
+    def test_chunked_process_measure_matches_serial(self, sort_setup):
+        program, configs, inputs = sort_setup
+        expected = serial_matrices(program, configs, inputs)
+        with Runtime(
+            executor=ProcessExecutor(workers=2), cache=None, batch_chunk=5
+        ) as runtime:
+            actual = runtime.measure(program, configs, inputs)
+            counters = runtime.telemetry.snapshot()["counters"]
+        assert_identical(actual, expected)
+        # 6 inputs x 2 configs, 5 // 2 = 2 rows per chunk -> 3 chunks.
+        assert counters["chunks_dispatched"] == 3
+        assert counters["runs_requested"] == 12
+        assert counters["runs_executed"] == 12
+
+    def test_thread_measure_matches_serial(self, sort_setup):
+        program, configs, inputs = sort_setup
+        expected = serial_matrices(program, configs, inputs)
+        with Runtime(executor=ThreadExecutor(workers=4), cache=None) as runtime:
+            assert_identical(runtime.measure(program, configs, inputs), expected)
+
+    def test_caching_runtime_keeps_pair_path(self, sort_setup):
+        """A caching runtime must fill its run cache, so no matrix transport."""
+        program, configs, inputs = sort_setup
+        expected = serial_matrices(program, configs, inputs)
+        from repro.runtime.cache import RunCache
+
+        with Runtime(
+            executor=ProcessExecutor(workers=2), cache=RunCache()
+        ) as runtime:
+            assert not runtime._matrix_transportable(program, configs, inputs)
+            assert_identical(runtime.measure(program, configs, inputs), expected)
+            assert len(runtime.cache) == 12
+            # A repeat is answered from the cache, not re-executed.
+            assert_identical(runtime.measure(program, configs, inputs), expected)
+            counters = runtime.telemetry.snapshot()["counters"]
+        assert counters["cache_hits"] == 12
+        assert counters["runs_executed"] == 12
+
+    def test_unpicklable_program_falls_back_to_pair_path(self):
+        space = ConfigurationSpace([IntegerParameter("x", 1, 5)])
+        program = PetaBricksProgram(
+            "local", space, lambda config, value: charge(float(config["x"]) * value)
+        )
+        configs = [program.default_configuration()]
+        inputs = [1.0, 2.0, 3.0]
+        expected = serial_matrices(program, configs, inputs)
+        with Runtime(executor=ProcessExecutor(workers=2), cache=None) as runtime:
+            actual = runtime.measure(program, configs, inputs)
+            assert "not picklable" in runtime.executor.fallback_reason
+        assert_identical(actual, expected)
+
+    def test_shm_unavailable_measure_still_identical(self, sort_setup, monkeypatch):
+        program, configs, inputs = sort_setup
+        expected = serial_matrices(program, configs, inputs)
+        monkeypatch.setattr(executors_module, "_shm_module", None)
+        with Runtime(executor=ProcessExecutor(workers=2), cache=None) as runtime:
+            assert_identical(runtime.measure(program, configs, inputs), expected)
+
+    def test_input_source_rows_materialize_once(self, sort_setup):
+        """Slicing an InputSource must keep per-row single materialization."""
+        program, configs, _ = sort_setup
+        variant = get_benchmark("sort2")
+        source = variant.benchmark.input_generators()["synthetic"].source(6, seed=0)
+        expected = serial_matrices(program, configs, source.materialized())
+        with Runtime(
+            executor=ProcessExecutor(workers=2), cache=None, batch_chunk=4
+        ) as runtime:
+            assert_identical(runtime.measure(program, configs, source), expected)
