@@ -50,6 +50,8 @@ def _experiment_config(args: argparse.Namespace) -> ExperimentConfig:
         batch_chunk=args.batch_chunk,
         cache_max_entries=max_entries,
         stream_inputs=args.stream_inputs,
+        checkpoint=getattr(args, "checkpoint", False),
+        resume=getattr(args, "resume", False),
     )
 
 
@@ -111,6 +113,19 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
         help="feed the pipeline a lazy input source (--no-stream-inputs "
         "materializes the full list up front; results are bit-identical "
         "either way, and either spelling overrides REPRO_STREAM_INPUTS)",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        action="store_true",
+        help="write a chunk-granular resume manifest next to --cache-path "
+        "(see docs/resilience.md)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume a killed run from its --cache-path checkpoint manifest; "
+        "completed chunks replay as cache hits, producing bit-identical "
+        "results (implies --checkpoint)",
     )
     parser.add_argument(
         "--runtime-stats",
@@ -396,6 +411,90 @@ def cmd_adapt_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run an experiment or serving load under an injected fault plan.
+
+    Replays the same seeded plan ``--replays`` times and verifies the
+    invariant reports agree bit-for-bit (the chaos determinism claim);
+    exits non-zero when any invariant fails or any replay diverges.
+    """
+    import json
+
+    from repro.resilience.chaos import (
+        PRESETS,
+        experiment_digest,
+        preset_plan,
+        run_chaos_experiment,
+        run_chaos_load,
+    )
+    from repro.resilience.faults import FaultPlan
+
+    if args.test not in registry():
+        print(f"unknown test {args.test!r}; use 'list' to see options", file=sys.stderr)
+        return 2
+    if (args.preset is None) == (args.plan is None):
+        print("provide exactly one of --preset / --plan", file=sys.stderr)
+        return 2
+    if args.preset is not None:
+        plan = preset_plan(args.preset, seed=args.fault_seed)
+    else:
+        with open(args.plan, "r", encoding="utf-8") as handle:
+            plan = FaultPlan.from_json(handle.read())
+    if args.replays < 1:
+        print("--replays must be >= 1", file=sys.stderr)
+        return 2
+
+    config = _experiment_config(args)
+    reports = []
+    if args.mode == "experiment":
+        baseline_digest = None
+        if not args.no_baseline:
+            print("# running fault-free baseline ...")
+            baseline_digest = experiment_digest(run_experiment(args.test, config=config))
+        for replay in range(args.replays):
+            print(f"# chaos replay {replay + 1}/{args.replays} (plan {plan.digest()}) ...")
+            reports.append(
+                run_chaos_experiment(
+                    args.test, plan, config=config, baseline_digest=baseline_digest
+                )
+            )
+    else:
+        print("# training fault-free model ...")
+        deployed = run_experiment(args.test, config=config).training.deployed
+        for replay in range(args.replays):
+            print(f"# chaos replay {replay + 1}/{args.replays} (plan {plan.digest()}) ...")
+            reports.append(
+                run_chaos_load(
+                    args.test,
+                    deployed,
+                    plan,
+                    requests=args.requests,
+                    unique_inputs=args.unique_inputs,
+                    clients=args.clients,
+                )
+            )
+
+    report = reports[0]
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"report written to {args.output}")
+
+    digests = {r["digest"] for r in reports}
+    if len(digests) != 1:
+        print(f"replays diverged: {sorted(digests)}", file=sys.stderr)
+        return 1
+    print(f"{len(reports)} replay(s) agree: report digest {report['digest']}")
+    failed = [name for name, held in report["compared"]["invariants"].items() if not held]
+    if failed:
+        print(f"invariants failed: {failed}", file=sys.stderr)
+        return 1
+    print("all invariants held")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
@@ -498,6 +597,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--runtime-stats", action="store_true", help="print adaptation counters"
     )
     adapt.set_defaults(func=cmd_adapt_replay)
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="run an experiment or serving load under an injected fault plan "
+        "(see docs/resilience.md)",
+    )
+    chaos.add_argument("mode", choices=["experiment", "load"], help="what to run under faults")
+    chaos.add_argument("test", nargs="?", default="sort2", help="benchmark test (default: sort2)")
+    from repro.resilience.chaos import PRESETS
+
+    chaos.add_argument(
+        "--preset",
+        choices=sorted(PRESETS),
+        default=None,
+        help="named fault plan (distributed presets need --executor distributed)",
+    )
+    chaos.add_argument("--plan", default=None, help="JSON fault-plan file (alternative to --preset)")
+    chaos.add_argument("--fault-seed", type=int, default=0, help="fault plan seed")
+    chaos.add_argument(
+        "--replays",
+        type=int,
+        default=2,
+        help="times to replay the plan; reports must agree bit-for-bit",
+    )
+    chaos.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="experiment mode: skip the fault-free baseline run "
+        "(drops the matches_baseline invariant)",
+    )
+    chaos.add_argument("--requests", type=int, default=32, help="load mode: trace length")
+    chaos.add_argument("--unique-inputs", type=int, default=8, help="load mode: distinct inputs")
+    chaos.add_argument("--clients", type=int, default=2, help="load mode: client connections")
+    chaos.add_argument("--output", default=None, help="write the JSON report here")
+    _add_scale_arguments(chaos)
+    chaos.set_defaults(func=cmd_chaos)
     return parser
 
 

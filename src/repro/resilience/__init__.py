@@ -1,0 +1,54 @@
+"""Deterministic resilience toolkit: fault injection, retries, breakers.
+
+The modules here give the system one vocabulary for "things going wrong":
+
+* :mod:`~repro.resilience.faults` -- a seeded, declarative fault-injection
+  harness.  Production code declares *sites* (``cache.shard_write``,
+  ``dist.send``, ...); a chaos run activates a :class:`FaultPlan` that fires
+  raise/delay/truncate/drop/kill actions at chosen calls, bit-for-bit
+  reproducibly.
+* :mod:`~repro.resilience.retry` -- :class:`RetryPolicy`, the single
+  retry/backoff implementation shared by the process executor's pool
+  rebuilds, distributed worker connects, and the serving client.
+* :mod:`~repro.resilience.breaker` -- :class:`CircuitBreaker` guarding
+  serving-side executions.
+* :mod:`~repro.resilience.checkpoint` -- crash-safe experiment resume via
+  an atomic checkpoint manifest over the sharded run cache.
+* :mod:`~repro.resilience.chaos` -- the harness behind ``repro chaos``:
+  runs an experiment or a loadgen trace under a fault plan and reports
+  which system-level invariants held.
+"""
+
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.checkpoint import ExperimentCheckpoint, config_digest
+from repro.resilience.faults import (
+    FaultError,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    active_injector,
+    fault_scope,
+    fault_site,
+    install_from_env,
+    maybe_fail,
+    truncate_bytes,
+)
+from repro.resilience.retry import RetryError, RetryPolicy
+
+__all__ = [
+    "CircuitBreaker",
+    "ExperimentCheckpoint",
+    "config_digest",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "active_injector",
+    "fault_scope",
+    "fault_site",
+    "install_from_env",
+    "maybe_fail",
+    "truncate_bytes",
+    "RetryError",
+    "RetryPolicy",
+]

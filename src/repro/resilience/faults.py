@@ -1,0 +1,325 @@
+"""Deterministic fault injection behind named sites.
+
+Production code is instrumented with *fault sites* -- cheap, named check
+points (:func:`maybe_fail`, :func:`fault_site`, :func:`truncate_bytes`)
+that are no-ops unless a chaos run has activated a :class:`FaultPlan`.
+A plan is declarative: each :class:`FaultSpec` names a site, a trigger
+(the site's nth call, or a seeded per-call probability), and an action.
+Everything that decides whether a fault fires is a pure function of the
+plan -- per-site call counters and a per-site ``random.Random`` seeded
+from ``(plan.seed, site)`` -- so replaying the same plan against the same
+workload injects the same faults, bit for bit.
+
+Known sites (grep for the literals to find the instrumented code):
+
+========================  ====================================================
+``cache.shard_write``     sharded-store file writes (``_atomic_write_json``)
+``dist.send``             coordinator -> worker socket sends
+``dist.lease``            a lease just assigned to a distributed worker
+``worker.execute``        a distributed worker about to execute a lease
+``shm.attach``            a measure worker attaching a shared-memory segment
+``serve.execute``         the serving server about to execute a request
+``runtime.chunk``         a runtime chunk boundary (checkpoint/kill point)
+========================  ====================================================
+
+Actions: ``raise`` (raise :class:`FaultError`, an ``OSError``), ``delay``
+(sleep ``delay_seconds``), ``truncate`` (torn write: the site persists only
+the first ``truncate_bytes`` bytes), ``drop`` (the site tears down its
+socket mid-conversation), ``kill`` (SIGKILL the current process -- a crash,
+not an exception).
+
+Injectors travel into worker processes by environment variable: the chaos
+harness serializes the plan into ``REPRO_FAULT_PLAN``; spawned workers call
+:func:`install_from_env` at startup.  Within a process the active injector
+is the ContextVar one if set (test scoping), else the process-global one
+(covers pool threads, which do not inherit the submitting context).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import signal
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+#: Environment variable carrying a JSON-serialized plan into subprocesses.
+PLAN_ENV_VAR = "REPRO_FAULT_PLAN"
+
+_ACTIONS = ("raise", "delay", "truncate", "drop", "kill")
+
+
+class FaultError(OSError):
+    """Raised by a fault site executing a ``raise`` (or ``drop``) action.
+
+    Subclasses ``OSError`` so transport-level handlers (socket send loops,
+    shard writers) treat an injected fault exactly like the real I/O error
+    it stands in for.
+    """
+
+    def __init__(self, site: str, action: str = "raise") -> None:
+        super().__init__(f"injected fault at {site!r} (action={action})")
+        self.site = site
+        self.action = action
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One declarative fault: where, when, and what.
+
+    Args:
+        site: fault-site name (see module docstring).
+        action: one of ``raise``/``delay``/``truncate``/``drop``/``kill``.
+        nth: fire on the site's nth call (1-based) *in each process*.
+            Mutually exclusive with ``probability``.
+        probability: fire each call with this seeded probability.
+        count: maximum number of fires per process (``None`` = unlimited
+            for probability triggers; ``nth`` triggers always fire once).
+        delay_seconds: sleep length for ``delay`` actions.
+        truncate_bytes: bytes preserved by a ``truncate`` action.
+        match: only consider calls whose detail string (e.g. the target
+            path of a shard write) contains this substring.
+    """
+
+    site: str
+    action: str = "raise"
+    nth: Optional[int] = None
+    probability: Optional[float] = None
+    count: Optional[int] = None
+    delay_seconds: float = 0.05
+    truncate_bytes: int = 16
+    match: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.action not in _ACTIONS:
+            raise ValueError(f"unknown fault action {self.action!r}")
+        if (self.nth is None) == (self.probability is None):
+            raise ValueError("exactly one of nth/probability must be set")
+        if self.nth is not None and self.nth < 1:
+            raise ValueError("nth is 1-based and must be >= 1")
+        if self.probability is not None and not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+
+    def to_record(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {"site": self.site, "action": self.action}
+        if self.nth is not None:
+            record["nth"] = self.nth
+        if self.probability is not None:
+            record["probability"] = self.probability
+        if self.count is not None:
+            record["count"] = self.count
+        if self.action == "delay":
+            record["delay_seconds"] = self.delay_seconds
+        if self.action == "truncate":
+            record["truncate_bytes"] = self.truncate_bytes
+        if self.match is not None:
+            record["match"] = self.match
+        return record
+
+    @classmethod
+    def from_record(cls, record: Dict[str, Any]) -> "FaultSpec":
+        return cls(
+            site=record["site"],
+            action=record.get("action", "raise"),
+            nth=record.get("nth"),
+            probability=record.get("probability"),
+            count=record.get("count"),
+            delay_seconds=float(record.get("delay_seconds", 0.05)),
+            truncate_bytes=int(record.get("truncate_bytes", 16)),
+            match=record.get("match"),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded set of :class:`FaultSpec` driving one chaos run."""
+
+    faults: List[FaultSpec] = field(default_factory=list)
+    seed: int = 0
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"seed": self.seed, "faults": [spec.to_record() for spec in self.faults]},
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "FaultPlan":
+        data = json.loads(payload)
+        return cls(
+            faults=[FaultSpec.from_record(record) for record in data.get("faults", [])],
+            seed=int(data.get("seed", 0)),
+        )
+
+    def digest(self) -> str:
+        """Stable content digest of the plan (for invariant reports)."""
+        import hashlib
+
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()[:16]
+
+
+class FaultInjector:
+    """Evaluates a :class:`FaultPlan` against live fault-site calls.
+
+    Thread-safe: per-site call counters and RNGs are guarded by a lock, so
+    sites may be hit concurrently from pool threads.  Counters are
+    per-injector (i.e. per process when installed via environment), which
+    is what makes ``nth`` triggers deterministic for single-threaded sites
+    and *per worker* for worker-process sites.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._calls: Dict[str, int] = {}
+        self._fires: Dict[int, int] = {}
+        self._rngs: Dict[str, random.Random] = {}
+        self.fired: Dict[str, int] = {}
+
+    def _rng(self, site: str) -> random.Random:
+        rng = self._rngs.get(site)
+        if rng is None:
+            rng = random.Random(f"{self.plan.seed}:{site}")
+            self._rngs[site] = rng
+        return rng
+
+    def check(self, site: str, detail: Optional[str] = None) -> Optional[FaultSpec]:
+        """Record one call at ``site``; return the spec that fires, if any."""
+        with self._lock:
+            calls = self._calls.get(site, 0) + 1
+            self._calls[site] = calls
+            for index, spec in enumerate(self.plan.faults):
+                if spec.site != site:
+                    continue
+                if spec.match is not None and (detail is None or spec.match not in detail):
+                    continue
+                fires = self._fires.get(index, 0)
+                if spec.nth is not None:
+                    # Fires at call nth, then (given a count > 1) every nth
+                    # calls after that, up to the count cap.
+                    limit = spec.count if spec.count is not None else 1
+                    if fires >= limit or calls % spec.nth != 0:
+                        continue
+                elif spec.probability is not None:
+                    if spec.count is not None and fires >= spec.count:
+                        continue
+                    if self._rng(site).random() >= spec.probability:
+                        continue
+                self._fires[index] = fires + 1
+                self.fired[site] = self.fired.get(site, 0) + 1
+                return spec
+        return None
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Diagnostics: per-site call and fire counts (not deterministic
+        across schedules for multi-threaded sites; report them separately
+        from compared invariants)."""
+        with self._lock:
+            return {"calls": dict(self._calls), "fired": dict(self.fired)}
+
+
+#: Test-scoped override; takes precedence over the process-global injector.
+_context_injector: ContextVar[Optional[FaultInjector]] = ContextVar(
+    "repro_fault_injector", default=None
+)
+#: Process-global injector (set via env for workers, or by fault_scope).
+_process_injector: Optional[FaultInjector] = None
+
+
+def active_injector() -> Optional[FaultInjector]:
+    """The injector governing this call, or None when chaos is inactive."""
+    injector = _context_injector.get()
+    if injector is not None:
+        return injector
+    return _process_injector
+
+
+def install(injector: Optional[FaultInjector]) -> None:
+    """Set (or clear, with None) the process-global injector."""
+    global _process_injector
+    _process_injector = injector
+
+
+def install_from_env() -> Optional[FaultInjector]:
+    """Install the injector serialized in ``REPRO_FAULT_PLAN``, if any.
+
+    Called by worker-process entry points so chaos plans follow the run
+    across process boundaries (spawned workers inherit the environment).
+    """
+    payload = os.environ.get(PLAN_ENV_VAR)
+    if not payload:
+        return None
+    try:
+        plan = FaultPlan.from_json(payload)
+    except (ValueError, KeyError, TypeError):
+        return None
+    injector = FaultInjector(plan)
+    install(injector)
+    return injector
+
+
+@contextmanager
+def fault_scope(plan: FaultPlan, env: bool = True) -> Iterator[FaultInjector]:
+    """Activate ``plan`` for the dynamic extent of a with-block.
+
+    Installs the injector both process-globally (so pool threads see it)
+    and, when ``env`` is true, in ``os.environ`` so worker processes
+    spawned inside the scope inherit it.  Restores prior state on exit.
+    """
+    injector = FaultInjector(plan)
+    global _process_injector
+    previous = _process_injector
+    _process_injector = injector
+    saved_env = os.environ.get(PLAN_ENV_VAR)
+    if env:
+        os.environ[PLAN_ENV_VAR] = plan.to_json()
+    try:
+        yield injector
+    finally:
+        _process_injector = previous
+        if env:
+            if saved_env is None:
+                os.environ.pop(PLAN_ENV_VAR, None)
+            else:
+                os.environ[PLAN_ENV_VAR] = saved_env
+
+
+def fault_site(site: str, detail: Optional[str] = None) -> Optional[FaultSpec]:
+    """Record a call at ``site``; return the firing spec for caller-applied
+    actions (``truncate``, ``drop``) or None.
+
+    ``raise``/``delay``/``kill`` actions are applied here directly, so most
+    call sites only need the one-line :func:`maybe_fail` form.
+    """
+    injector = active_injector()
+    if injector is None:
+        return None
+    spec = injector.check(site, detail)
+    if spec is None:
+        return None
+    if spec.action == "raise":
+        raise FaultError(site)
+    if spec.action == "delay":
+        time.sleep(spec.delay_seconds)
+        return None
+    if spec.action == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    return spec
+
+
+def maybe_fail(site: str, detail: Optional[str] = None) -> None:
+    """One-line fault site for raise/delay/kill actions."""
+    fault_site(site, detail)
+
+
+def truncate_bytes(site: str, detail: Optional[str] = None) -> Optional[int]:
+    """Fault site for writers: bytes to keep for a torn write, or None."""
+    spec = fault_site(site, detail)
+    if spec is not None and spec.action == "truncate":
+        return spec.truncate_bytes
+    return None

@@ -43,6 +43,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional, Set
 
 from repro.lang.program import RunResult
+from repro.resilience.faults import truncate_bytes as _fault_truncate_bytes
 
 #: On-disk format version of one entry table (a shard file or a legacy
 #: single-file cache); bumped when the entry layout changes.
@@ -131,8 +132,13 @@ def _record_result(record: Dict[str, Any]) -> RunResult:
     )
 
 
-def _atomic_write_json(target: str, payload: Any) -> None:
-    """Write ``payload`` as UTF-8 JSON via temp file + rename.
+def _atomic_write_json(target: str, payload: Any, site: str = "cache.shard_write") -> None:
+    """Write ``payload`` as UTF-8 JSON via temp file + fsync + rename.
+
+    Durability: the temp file is flushed and fsynced before the rename, and
+    the containing directory is fsynced after it, so a power-loss-style kill
+    leaves either the old file or the complete new one -- never a renamed
+    half-write.  (Checkpoint manifests and cache shards both ride on this.)
 
     Any failure -- a mid-``json.dump`` serialization error included -- removes
     the temp file before the original exception re-raises, so a failed save
@@ -140,6 +146,11 @@ def _atomic_write_json(target: str, payload: Any) -> None:
     itself is exception-safe: an unlink error (the temp file already swept by
     another process, say) is suppressed rather than allowed to mask what
     actually went wrong.
+
+    ``site`` names the write's fault-injection site (see
+    :mod:`repro.resilience.faults`); a ``truncate`` fault lands the first N
+    bytes on disk -- the torn write the fsyncs exist to prevent, which the
+    corrupt-shard tests inject to prove readers degrade instead of crash.
     """
     directory = os.path.dirname(os.path.abspath(target))
     os.makedirs(directory, exist_ok=True)
@@ -147,13 +158,38 @@ def _atomic_write_json(target: str, payload: Any) -> None:
     try:
         with os.fdopen(fd, "w", encoding="utf-8") as handle:
             json.dump(payload, handle)
+            handle.flush()
+            torn = _fault_truncate_bytes(site, detail=target)
+            if torn is not None:
+                handle.truncate(torn)
+            os.fsync(handle.fileno())
         os.replace(tmp_path, target)
+        _fsync_directory(directory)
     except BaseException:
         try:
             os.unlink(tmp_path)
         except OSError:
             pass
         raise
+
+
+def _fsync_directory(directory: str) -> None:
+    """fsync a directory so a just-renamed entry survives power loss.
+
+    Best-effort: some platforms/filesystems refuse to open or fsync
+    directories; losing that last bit of durability there is better than
+    failing every save.
+    """
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(dir_fd)
 
 
 def _read_entry_table(path: str) -> Optional[Dict[str, Dict[str, Any]]]:

@@ -52,15 +52,18 @@ from __future__ import annotations
 import base64
 import json
 import multiprocessing
+import os
 import pickle
 import selectors
 import socket
 import time
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.lang.program import PetaBricksProgram, RunResult
+from repro.resilience.faults import FaultError, fault_site
 from repro.runtime.executors import (
     BaseExecutor,
     CallTask,
@@ -76,6 +79,28 @@ PROTOCOL_VERSION = 1
 #: How long the coordinator waits in one ``selector.select`` call; bounds
 #: the latency of deadline/death checks without busy-waiting.
 _POLL_SECONDS = 0.05
+
+
+def _env_float(name: str, default: float) -> float:
+    """A float environment override, degrading to the default with a warning."""
+    value = os.environ.get(name, "").strip()
+    if not value:
+        return default
+    try:
+        return float(value)
+    except ValueError:
+        warnings.warn(f"ignoring non-numeric {name}={value!r}")
+        return default
+
+
+def default_socket_timeout() -> float:
+    """Per-connection socket timeout (``REPRO_DIST_SOCKET_TIMEOUT``, 30s)."""
+    return _env_float("REPRO_DIST_SOCKET_TIMEOUT", 30.0)
+
+
+def default_join_timeout() -> float:
+    """Dead-worker process join timeout (``REPRO_DIST_JOIN_TIMEOUT``, 2s)."""
+    return _env_float("REPRO_DIST_JOIN_TIMEOUT", 2.0)
 
 
 def encode_payload(obj: Any) -> str:
@@ -154,6 +179,15 @@ class Coordinator:
         max_lease_retries: how many times one chunk may be *re*assigned
             before the batch fails -- the bound that keeps a chunk that
             reliably kills workers from cycling forever.
+        socket_timeout: per-connection timeout on accepted worker sockets,
+            in seconds.  Defaults to ``REPRO_DIST_SOCKET_TIMEOUT`` (30s).
+            Bounds how long a blocking send to a wedged worker can stall
+            the coordinator loop; it is *not* the lease deadline --
+            ``lease_timeout`` governs how long a worker may hold a chunk,
+            this governs how long one socket operation may block.
+        join_timeout: how long to wait for a dead spawned worker process
+            to be reaped, in seconds.  Defaults to
+            ``REPRO_DIST_JOIN_TIMEOUT`` (2s).
         port: TCP port to listen on; 0 (default) picks an ephemeral port.
             A fixed port is what lets external workers reconnect to a
             *restarted* coordinator without rediscovering the address --
@@ -168,11 +202,19 @@ class Coordinator:
         workers: int = 0,
         lease_timeout: float = 60.0,
         max_lease_retries: int = 3,
+        socket_timeout: Optional[float] = None,
+        join_timeout: Optional[float] = None,
         port: int = 0,
     ) -> None:
         self.workers = max(0, int(workers))
         self.lease_timeout = float(lease_timeout)
         self.max_lease_retries = int(max_lease_retries)
+        self.socket_timeout = (
+            default_socket_timeout() if socket_timeout is None else float(socket_timeout)
+        )
+        self.join_timeout = (
+            default_join_timeout() if join_timeout is None else float(join_timeout)
+        )
         self.counters: Dict[str, int] = {
             "leases_issued": 0,
             "leases_reassigned": 0,
@@ -244,7 +286,7 @@ class Coordinator:
         except (BlockingIOError, OSError):
             return
         conn.setblocking(True)
-        conn.settimeout(30.0)
+        conn.settimeout(self.socket_timeout)
         self._selector.register(conn, selectors.EVENT_READ)
         self._workers[conn] = _WorkerState(conn=conn)
 
@@ -262,7 +304,7 @@ class Coordinator:
             pass
         self._workers.pop(state.conn, None)
         if state.process is not None and not state.process.is_alive():
-            state.process.join(timeout=1.0)
+            state.process.join(timeout=self.join_timeout)
         return state.chunk
 
     def connected_workers(self) -> int:
@@ -436,7 +478,16 @@ class Coordinator:
             if not state.ready or state.chunk is not None:
                 continue
             chunk = pending.popleft()
+            lease_id = f"{batch_id}:{chunk.index}:{chunk.attempts}"
             try:
+                # Fault site: a send that fails (raise) or a connection torn
+                # down just before the send (drop) -- both land in the
+                # except OSError requeue path below, exactly like a real
+                # peer reset would.
+                spec = fault_site("dist.send", detail=lease_id)
+                if spec is not None and spec.action == "drop":
+                    _shutdown_socket(state.conn)
+                    raise FaultError("dist.send", "drop")
                 if state.context_batch != batch_id:
                     send_message(
                         state.conn,
@@ -444,7 +495,6 @@ class Coordinator:
                          "payload": context_blob},
                     )
                     state.context_batch = batch_id
-                lease_id = f"{batch_id}:{chunk.index}:{chunk.attempts}"
                 send_message(
                     state.conn,
                     {"type": "lease", "lease_id": lease_id,
@@ -459,6 +509,12 @@ class Coordinator:
             state.chunk = chunk
             state.deadline = time.monotonic() + self.lease_timeout
             self.counters["leases_issued"] += 1
+            # Fault site: the connection dies *mid-lease*, after the worker
+            # was granted the chunk -- exercises EOF detection and the
+            # requeue-on-death path rather than the send error path.
+            spec = fault_site("dist.lease", detail=lease_id)
+            if spec is not None and spec.action == "drop":
+                _shutdown_socket(state.conn)
 
     # -- lifecycle -------------------------------------------------------
 
@@ -475,7 +531,7 @@ class Coordinator:
             self._drop_worker(state, died=False)
         for process in self._pending_processes:
             process.terminate()
-            process.join(timeout=2.0)
+            process.join(timeout=self.join_timeout)
         try:
             self._selector.unregister(self._listener)
         except (KeyError, ValueError):
@@ -488,6 +544,14 @@ class Coordinator:
 
     def __exit__(self, *_exc: Any) -> None:
         self.close()
+
+
+def _shutdown_socket(conn: socket.socket) -> None:
+    """Tear a connection down abruptly (the injected-drop primitive)."""
+    try:
+        conn.shutdown(socket.SHUT_RDWR)
+    except OSError:
+        pass
 
 
 def _parse_lease_id(lease_id: str) -> Tuple[int, int, int]:
@@ -507,6 +571,10 @@ class DistributedExecutor(BaseExecutor):
             to rely solely on externally attached workers.
         lease_timeout: per-lease deadline in seconds.
         max_lease_retries: reassignment bound per chunk.
+        socket_timeout: per-connection socket timeout in seconds
+            (default: ``REPRO_DIST_SOCKET_TIMEOUT`` or 30s).
+        join_timeout: dead-worker process join timeout in seconds
+            (default: ``REPRO_DIST_JOIN_TIMEOUT`` or 2s).
         port: fixed coordinator port (0 = ephemeral); lets a restarted
             executor rebind the same address for externally attached
             workers, and lets a host budget its ports when a serving
@@ -533,11 +601,15 @@ class DistributedExecutor(BaseExecutor):
         workers: Optional[int] = None,
         lease_timeout: float = 60.0,
         max_lease_retries: int = 3,
+        socket_timeout: Optional[float] = None,
+        join_timeout: Optional[float] = None,
         port: int = 0,
     ) -> None:
         self.workers = _default_workers() if workers is None else max(0, int(workers))
         self.lease_timeout = lease_timeout
         self.max_lease_retries = max_lease_retries
+        self.socket_timeout = socket_timeout
+        self.join_timeout = join_timeout
         self.port = int(port)
         self.fallback_reason: Optional[str] = None
         self._coordinator: Optional[Coordinator] = None
@@ -550,6 +622,8 @@ class DistributedExecutor(BaseExecutor):
                 workers=self.workers,
                 lease_timeout=self.lease_timeout,
                 max_lease_retries=self.max_lease_retries,
+                socket_timeout=self.socket_timeout,
+                join_timeout=self.join_timeout,
                 port=self.port,
             )
         return self._coordinator

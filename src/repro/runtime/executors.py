@@ -21,6 +21,10 @@ held in context variables), the three strategies are interchangeable:
 from __future__ import annotations
 
 import concurrent.futures
+# The ``process`` submodule is lazily loaded by the package's __getattr__;
+# import it eagerly so ``BrokenProcessPool`` is reachable before any pool
+# has been built (retryable tuples are evaluated ahead of pool creation).
+import concurrent.futures.process
 import math
 import os
 import pickle
@@ -31,6 +35,8 @@ import numpy as np
 
 from repro.lang.config import Configuration
 from repro.lang.program import PetaBricksProgram, RunResult
+from repro.resilience.faults import install_from_env, maybe_fail
+from repro.resilience.retry import RetryPolicy
 
 try:  # pragma: no cover - present on every supported platform
     from multiprocessing import shared_memory as _shm_module
@@ -254,6 +260,8 @@ def _process_worker_init(
     global _WORKER_PROGRAM, _WORKER_SHARED
     _WORKER_PROGRAM = program
     _WORKER_SHARED = shared or {}
+    # Chaos plans follow the run into pool workers via the environment.
+    install_from_env()
 
 
 def _process_worker_run(task: Task) -> RunResult:
@@ -316,6 +324,9 @@ def _process_worker_measure(lease: MeasureLease) -> Tuple[str, int, Optional[Any
         block[1, index] = result.accuracy
     if shm_name is not None and _shm_module is not None:
         try:
+            # Fault site: an attach failure must degrade to the pickled
+            # path, never lose the lease's results.
+            maybe_fail("shm.attach", detail=shm_name)
             segment = _shm_module.SharedMemory(name=shm_name)
         except Exception:
             return ("data", start, block)
@@ -339,6 +350,11 @@ class ProcessExecutor(BaseExecutor):
         fallback_reason: set to a short description the first time a batch
             had to run serially because the program or its tasks could not
             be pickled (or the pool broke); None while the pool is healthy.
+        retry_policy: the :class:`~repro.resilience.retry.RetryPolicy`
+            governing broken-pool resubmission -- one rebuild-and-retry by
+            default, matching the historical behaviour.
+        retry_counters: ``retry_*`` telemetry incremented by the policy;
+            surfaced through ``Runtime.stats()``.
     """
 
     name = "process"
@@ -346,12 +362,22 @@ class ProcessExecutor(BaseExecutor):
     def __init__(self, workers: Optional[int] = None) -> None:
         self.workers = workers or _default_workers()
         self.fallback_reason: Optional[str] = None
+        self.retry_policy = RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0)
+        self.retry_counters: Dict[str, int] = {}
         self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
         self._pool_program: Optional[PetaBricksProgram] = None
         #: Shared-argument registry the live pool's workers were initialized
         #: with.  Holding the real objects (not just ids) keeps them alive,
         #: so identity comparisons against new batches stay meaningful.
         self._pool_shared: Dict[str, Any] = {}
+
+    def _on_pool_break(self, error: BaseException, _attempt: int) -> None:
+        """Retry hook: a broken pool is torn down so the resubmission
+        closure rebuilds it (re-registering the program/shared-argument
+        initializer) -- one dead worker costs a respawn, not every later
+        batch."""
+        self.fallback_reason = f"process pool broke: {error}"
+        self._shutdown_pool()
 
     def _rebuild_pool(
         self, program: Optional[PetaBricksProgram], shared: Dict[str, Any]
@@ -420,36 +446,39 @@ class ProcessExecutor(BaseExecutor):
         except Exception as error:
             self.fallback_reason = f"call not picklable: {type(error).__name__}"
             return SerialExecutor().run_calls(calls, shared=shared)
-        pool = self._calls_pool(shared)
         # Chunking matters beyond message overhead: a chunk is pickled as one
         # object, so large per-chunk arguments shared by its calls cross the
         # process boundary once per chunk instead of once per call, via the
         # pickle memo.  (Registry-shared arguments do even better: they ride
         # the pool initializer and cross once per pool.)
         chunksize = _call_chunksize(len(calls), self.workers)
-        result_iterator = None
-        for retry in (False, True):
-            try:
-                # Submission is eager: worker spawn (which, under a spawn start
-                # method, pickles the initializer's program/shared registry)
-                # happens here, so transport errors raised at this point are
-                # never a task's own exception...
-                result_iterator = pool.map(_invoke_call, calls, chunksize=chunksize)
-            except (pickle.PicklingError, TypeError, AttributeError) as error:
-                self.fallback_reason = f"call batch not picklable: {type(error).__name__}"
-                return SerialExecutor().run_calls(calls, shared=shared)
-            except concurrent.futures.process.BrokenProcessPool as error:
-                # A worker died since the last batch and the pool object is
-                # permanently broken.  Tear it down and rebuild once -- the
-                # rebuild re-registers the shared-argument initializer -- so
-                # one dead worker costs a respawn, not every later batch.
-                self._shutdown_pool()
-                if retry:
-                    self.fallback_reason = f"process pool broke: {error}"
-                    return SerialExecutor().run_calls(calls, shared=shared)
-                pool = self._calls_pool(shared)
-                continue
-            break
+
+        def submit() -> Any:
+            # Submission is eager: worker spawn (which, under a spawn start
+            # method, pickles the initializer's program/shared registry)
+            # happens here, so transport errors raised at this point are
+            # never a task's own exception...
+            return self._calls_pool(shared).map(
+                _invoke_call, calls, chunksize=chunksize
+            )
+
+        try:
+            # A worker death between batches surfaces as BrokenProcessPool at
+            # submission; the retry policy tears the pool down (_on_pool_break)
+            # and resubmits on a fresh one before giving up to the serial path.
+            result_iterator = self.retry_policy.run(
+                submit,
+                retryable=(concurrent.futures.process.BrokenProcessPool,),
+                before_retry=self._on_pool_break,
+                counters=self.retry_counters,
+            )
+        except (pickle.PicklingError, TypeError, AttributeError) as error:
+            self.fallback_reason = f"call batch not picklable: {type(error).__name__}"
+            return SerialExecutor().run_calls(calls, shared=shared)
+        except concurrent.futures.process.BrokenProcessPool as error:
+            self.fallback_reason = f"process pool broke: {error}"
+            self._shutdown_pool()
+            return SerialExecutor().run_calls(calls, shared=shared)
         try:
             # ...whereas during result iteration only a genuine
             # PicklingError is transport: a task-raised TypeError must
@@ -476,26 +505,33 @@ class ProcessExecutor(BaseExecutor):
         except Exception as error:
             self.fallback_reason = f"task not picklable: {type(error).__name__}"
             return SerialExecutor().run_batch(program, tasks)
-        for retry in (False, True):
-            try:
-                return list(pool.map(_process_worker_run, tasks))
-            except (pickle.PicklingError, TypeError, AttributeError) as error:
-                self.fallback_reason = f"batch not picklable: {type(error).__name__}"
-                return SerialExecutor().run_batch(program, tasks)
-            except concurrent.futures.process.BrokenProcessPool as error:
-                self.fallback_reason = f"process pool broke: {error}"
-                self._shutdown_pool()
-                if retry:
-                    return SerialExecutor().run_batch(program, tasks)
-                # A break at submission time (worker died between batches)
-                # leaves the tasks unexecuted: rebuild the pool -- with the
-                # program initializer re-registered -- and resubmit once.
-                # A break *during* execution re-runs the batch too; runs are
-                # pure functions of their tasks, so re-execution is sound.
-                pool = self._pool_for(program)
-                if pool is None:
-                    return SerialExecutor().run_batch(program, tasks)
-        raise AssertionError("unreachable")  # pragma: no cover
+        def submit() -> List[RunResult]:
+            # A break at submission time (worker died between batches)
+            # leaves the tasks unexecuted: the retry rebuilds the pool --
+            # with the program initializer re-registered -- and resubmits.
+            # A break *during* execution re-runs the batch too; runs are
+            # pure functions of their tasks, so re-execution is sound.
+            submit_pool = self._pool_for(program)
+            if submit_pool is None:
+                raise concurrent.futures.process.BrokenProcessPool(
+                    "pool unavailable after rebuild"
+                )
+            return list(submit_pool.map(_process_worker_run, tasks))
+
+        try:
+            return self.retry_policy.run(
+                submit,
+                retryable=(concurrent.futures.process.BrokenProcessPool,),
+                before_retry=self._on_pool_break,
+                counters=self.retry_counters,
+            )
+        except (pickle.PicklingError, TypeError, AttributeError) as error:
+            self.fallback_reason = f"batch not picklable: {type(error).__name__}"
+            return SerialExecutor().run_batch(program, tasks)
+        except concurrent.futures.process.BrokenProcessPool as error:
+            self.fallback_reason = f"process pool broke: {error}"
+            self._shutdown_pool()
+            return SerialExecutor().run_batch(program, tasks)
 
     def run_measure(
         self,
@@ -555,25 +591,29 @@ class ProcessExecutor(BaseExecutor):
                 (start, tasks[start : start + lease_tasks], shm_name, total)
                 for start in range(0, total, lease_tasks)
             ]
-            answers: Optional[List[Tuple[str, int, Optional[Any]]]] = None
-            for retry in (False, True):
-                try:
-                    answers = list(pool.map(_process_worker_measure, leases, chunksize=1))
-                except (pickle.PicklingError, TypeError, AttributeError) as error:
-                    self.fallback_reason = (
-                        f"batch not picklable: {type(error).__name__}"
+            def submit() -> List[Tuple[str, int, Optional[Any]]]:
+                submit_pool = self._pool_for(program)
+                if submit_pool is None:
+                    raise concurrent.futures.process.BrokenProcessPool(
+                        "pool unavailable after rebuild"
                     )
-                    break
-                except concurrent.futures.process.BrokenProcessPool as error:
-                    self.fallback_reason = f"process pool broke: {error}"
-                    self._shutdown_pool()
-                    if retry:
-                        break
-                    pool = self._pool_for(program)
-                    if pool is None:
-                        break
-                    continue
-                break
+                return list(
+                    submit_pool.map(_process_worker_measure, leases, chunksize=1)
+                )
+
+            answers: Optional[List[Tuple[str, int, Optional[Any]]]] = None
+            try:
+                answers = self.retry_policy.run(
+                    submit,
+                    retryable=(concurrent.futures.process.BrokenProcessPool,),
+                    before_retry=self._on_pool_break,
+                    counters=self.retry_counters,
+                )
+            except (pickle.PicklingError, TypeError, AttributeError) as error:
+                self.fallback_reason = f"batch not picklable: {type(error).__name__}"
+            except concurrent.futures.process.BrokenProcessPool as error:
+                self.fallback_reason = f"process pool broke: {error}"
+                self._shutdown_pool()
             if answers is None:
                 # Transport failed after the probe succeeded (broken pool
                 # twice, or a pathological mid-batch pickling error): finish
@@ -616,11 +656,11 @@ class ProcessExecutor(BaseExecutor):
         return f"ProcessExecutor(workers={self.workers})"
 
 
-def _make_distributed(workers: Optional[int] = None) -> BaseExecutor:
+def _make_distributed(workers: Optional[int] = None, **options: Any) -> BaseExecutor:
     """Factory for the distributed executor (imported lazily: no cycle)."""
     from repro.runtime.distributed import DistributedExecutor
 
-    return DistributedExecutor(workers=workers)
+    return DistributedExecutor(workers=workers, **options)
 
 
 #: Registered executor strategies, keyed by flag value.
@@ -632,13 +672,17 @@ EXECUTORS = {
 }
 
 
-def get_executor(spec: str = "serial", workers: Optional[int] = None) -> BaseExecutor:
+def get_executor(
+    spec: str = "serial", workers: Optional[int] = None, **options: Any
+) -> BaseExecutor:
     """Build an executor from a flag value.
 
     Accepts ``"serial"``, ``"thread"``, ``"process"``, ``"distributed"``,
     optionally suffixed with a worker count as ``"thread:4"`` /
     ``"process:8"`` / ``"distributed:2"`` (an explicit ``workers`` argument
-    wins over the suffix).
+    wins over the suffix).  Extra keyword ``options`` (``socket_timeout``,
+    ``join_timeout``, ...) apply to the distributed strategy and are
+    ignored by the in-process ones.
     """
     name, _, suffix = spec.partition(":")
     name = name.strip().lower() or "serial"
@@ -650,4 +694,9 @@ def get_executor(spec: str = "serial", workers: Optional[int] = None) -> BaseExe
         workers = int(suffix)
     if name == "serial":
         return SerialExecutor()
+    if name == "distributed":
+        return _make_distributed(
+            workers=workers,
+            **{k: v for k, v in options.items() if v is not None},
+        )
     return EXECUTORS[name](workers=workers)

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.lang.config import Configuration
 from repro.lang.program import PetaBricksProgram, RunResult
+from repro.resilience.faults import maybe_fail
 from repro.runtime.cache import RunCache
 from repro.runtime.executors import BaseExecutor, CallTask, SerialExecutor, Task, get_executor
 from repro.runtime.keys import config_key, input_key, program_fingerprint, run_key
@@ -83,6 +84,10 @@ class Runtime:
             task_cache = TaskCache(max_entries=self.TASK_CACHE_ENTRIES)
         self.task_cache = task_cache
         self.batch_chunk = batch_chunk
+        #: Optional :class:`~repro.resilience.checkpoint.ExperimentCheckpoint`
+        #: attached by the experiment runner; when set, every chunk boundary
+        #: persists dirty cache shards and advances the resume manifest.
+        self.checkpoint: Optional[Any] = None
 
     @classmethod
     def create(
@@ -93,6 +98,7 @@ class Runtime:
         max_entries: Optional[int] = RunCache.DEFAULT_MAX_ENTRIES,
         cache_path: Optional[str] = None,
         batch_chunk: Optional[int] = None,
+        executor_options: Optional[Dict[str, Any]] = None,
     ) -> "Runtime":
         """Build a runtime from flag-style settings.
 
@@ -114,7 +120,7 @@ class Runtime:
             if cache_path:
                 cache.load()
         return cls(
-            executor=get_executor(executor, workers=workers),
+            executor=get_executor(executor, workers=workers, **(executor_options or {})),
             cache=cache,
             batch_chunk=batch_chunk,
         )
@@ -205,6 +211,7 @@ class Runtime:
         if not chunk:
             materialized = pairs if isinstance(pairs, Sequence) else list(pairs)
             yield from self._dispatch_pairs(program, materialized)
+            self._chunk_completed()
             return
         iterator = iter(pairs)
         while True:
@@ -213,6 +220,19 @@ class Runtime:
                 return
             self.telemetry.count("chunks_dispatched")
             yield from self._dispatch_pairs(program, piece)
+            self._chunk_completed()
+
+    def _chunk_completed(self) -> None:
+        """Chunk-boundary hook: checkpoint progress, honor injected crashes.
+
+        The ``runtime.chunk`` fault site lives here so chaos plans can kill
+        (or stall) a run at a precise chunk boundary; with a checkpoint
+        attached, dirty cache shards and the resume manifest are persisted
+        *before* the site fires -- the crash-then-resume test's contract.
+        """
+        if self.checkpoint is not None:
+            self.checkpoint.chunk_completed(self)
+        maybe_fail("runtime.chunk")
 
     def _dispatch_pairs(
         self, program: PetaBricksProgram, pairs: Sequence[Task]
@@ -313,6 +333,7 @@ class Runtime:
             for start in range(0, len(specs), chunk):
                 self.telemetry.count("chunks_dispatched")
                 results.extend(self._run_tasks(specs[start : start + chunk], shared))
+                self._chunk_completed()
             return results
 
     def _run_tasks(
@@ -475,6 +496,7 @@ class Runtime:
             flat_accuracies[start : start + len(piece)] = chunk[1]
             self.telemetry.count("runs_requested", len(piece))
             self.telemetry.count("runs_executed", len(piece))
+            self._chunk_completed()
         return {"times": times, "accuracies": accuracies}
 
     def _rows_distributable(
@@ -555,6 +577,7 @@ class Runtime:
         self.telemetry.count("runs_executed", n * k - worker_hits)
         if worker_hits:
             self.telemetry.count("worker_cache_hits", worker_hits)
+        self._chunk_completed()
         return {"times": times, "accuracies": accuracies}
 
     # -- management -----------------------------------------------------
@@ -577,6 +600,9 @@ class Runtime:
         lease_stats = getattr(self.executor, "lease_stats", None)
         if lease_stats:
             info["distributed"] = dict(lease_stats)
+        retries = getattr(self.executor, "retry_counters", None)
+        if retries:
+            info["retries"] = dict(retries)
         if self.cache is not None:
             info["cache"] = self.cache.stats()
         if self.task_cache is not None:

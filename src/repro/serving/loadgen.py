@@ -78,6 +78,12 @@ def replay(
     its share sequentially on its own connection.  Returns client-side
     observations: wall-clock per-request latency plus the server-reported
     per-request fields, and any error frames received.
+
+    A dropped connection mid-trace does not kill the thread: the failed
+    request is recorded as a ``client_error`` frame and the thread
+    reconnects (under the client's connect retry policy) for the rest of
+    its share.  Only when reconnection itself fails are the remaining
+    requests written off as ``client_error`` frames too.
     """
     if clients < 1:
         raise ValueError("clients must be >= 1")
@@ -87,14 +93,41 @@ def replay(
     wall_lock = threading.Lock()
 
     def worker(slot: int) -> None:
-        with ServingClient(host, port) as client:
-            for index in shares[slot]:
+        client: Optional[ServingClient] = ServingClient(host, port)
+        try:
+            for position, index in enumerate(shares[slot]):
+                if client is None:
+                    try:
+                        client = ServingClient(host, port)
+                    except OSError as error:
+                        responses[slot].extend(
+                            {"type": "client_error",
+                             "error": f"reconnect failed: {type(error).__name__}: {error}"}
+                            for _ in shares[slot][position:]
+                        )
+                        return
                 started = time.perf_counter()
-                response = client.run(test, protocol.index_input(index, seed=input_seed))
+                try:
+                    response = client.run(
+                        test, protocol.index_input(index, seed=input_seed)
+                    )
+                except (ConnectionError, OSError) as error:
+                    response = {
+                        "type": "client_error",
+                        "error": f"{type(error).__name__}: {error}",
+                    }
+                    try:
+                        client.close()
+                    except OSError:
+                        pass
+                    client = None
                 elapsed = time.perf_counter() - started
                 with wall_lock:
                     wall.record(elapsed)
                 responses[slot].append(response)
+        finally:
+            if client is not None:
+                client.close()
 
     threads = [
         threading.Thread(target=worker, args=(slot,), name=f"loadgen-{slot}")
@@ -127,6 +160,7 @@ def run_load(
     trace_seed: int = 0,
     input_seed: int = 0,
     config: Optional[ServingConfig] = None,
+    allow_errors: bool = False,
 ) -> Dict[str, Any]:
     """Serve ``deployed`` under ``test``, replay a duplicate-heavy trace,
     and report latency/throughput/coalescing metrics.
@@ -138,6 +172,11 @@ def run_load(
     in-flight twin), ``cache_hits`` (answered by run-cache recall), and
     ``each_unique_executed_at_most_once`` (the acceptance predicate:
     ``executions <= unique_inputs``).
+
+    With ``allow_errors`` (chaos runs), error and ``client_error`` frames
+    are counted in the metrics instead of raising, and the degraded-mode
+    accounting (``degraded``, ``breaker_open``, breaker state) reports how
+    the server shed the injected failures.
     """
     trace = build_trace(requests, unique_inputs, seed=trace_seed)
     server = SelectorServer(config=config)
@@ -147,7 +186,7 @@ def run_load(
         replayed = replay(
             host, port, test, trace, clients=clients, input_seed=input_seed
         )
-    if replayed["errors"]:
+    if replayed["errors"] and not allow_errors:
         first = replayed["errors"][0]
         raise RuntimeError(
             f"{len(replayed['errors'])} request(s) failed; first: {first}"
@@ -175,10 +214,18 @@ def run_load(
         "execution_p99_ms": execution.p99 * 1e3,
         "request_p50_ms": wall.p50 * 1e3,
         "request_p99_ms": wall.p99 * 1e3,
+        "responses": len(replayed["responses"]),
         "executions": executions,
         "coalesced": counters.get("serve_coalesced", 0),
         "cache_hits": counters.get("serve_cache_hits", 0),
         "rejected": counters.get("serve_rejected", 0),
         "labels_clamped": counters.get("selector_labels_clamped", 0),
         "each_unique_executed_at_most_once": executions <= unique_inputs,
+        "errors": len(replayed["errors"]),
+        "client_errors": sum(
+            1 for r in replayed["responses"] if r.get("type") == "client_error"
+        ),
+        "degraded": sum(1 for r in replayed["responses"] if r.get("degraded")),
+        "breaker_open": counters.get("serve_breaker_open", 0),
+        "breaker": server.breaker.snapshot(),
     }

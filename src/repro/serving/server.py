@@ -48,6 +48,8 @@ if TYPE_CHECKING:  # import at runtime is lazy (see _run_deployed)
     from repro.adaptation.feedback import FeedbackLog
 
 from repro.core.pipeline import DeployedProgram, DeploymentOutcome
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.faults import maybe_fail
 from repro.runtime import RunCache, Runtime, SerialExecutor, input_key
 from repro.serving import protocol
 from repro.serving.protocol import (
@@ -79,6 +81,15 @@ class ServingConfig:
             because runs are pure.
         default_seed: population seed assumed by ``index`` input specs that
             do not name one.
+        breaker_threshold: consecutive execution failures that open the
+            serving circuit breaker.
+        breaker_recovery_seconds: how long the breaker stays open before
+            admitting half-open trial executions.
+        degraded_fallback: serve degraded answers instead of errors when no
+            model is registered for a (known-benchmark) test -- the
+            benchmark's default configuration runs with ``landmark: -1`` --
+            or when the breaker is open, in which case the answer is a
+            no-execution degraded frame.  See ``docs/resilience.md``.
     """
 
     host: str = "127.0.0.1"
@@ -86,6 +97,9 @@ class ServingConfig:
     max_pending: int = 64
     execution_workers: int = 1
     default_seed: int = 0
+    breaker_threshold: int = 5
+    breaker_recovery_seconds: float = 30.0
+    degraded_fallback: bool = True
 
 
 class SelectorServer:
@@ -122,6 +136,12 @@ class SelectorServer:
         if self.config.max_pending < 1:
             raise ValueError("max_pending must be >= 1")
         self.telemetry = runtime.telemetry
+        #: Execution circuit breaker: consecutive pool-thread failures trip
+        #: it open, and the server answers degraded until recovery.
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_threshold,
+            recovery_timeout=self.config.breaker_recovery_seconds,
+        )
         #: (test, input digest) -> in-flight execution task; the coalescing map.
         self._inflight: Dict[Tuple[str, str], "asyncio.Task"] = {}
         self._pool = ThreadPoolExecutor(
@@ -279,13 +299,22 @@ class SelectorServer:
                 "run request carries no 'test' name", request_id,
             )
             return
+        entry: Optional[ModelEntry]
+        fallback_program = None
         try:
             entry = self.registry.get(test)
         except KeyError as error:
-            await self._reject(
-                writer, write_lock, protocol.UNKNOWN_TEST, str(error), request_id
-            )
-            return
+            # No model published for this test.  With degraded fallback on
+            # and the test naming a known benchmark, serve its default
+            # configuration (landmark -1) instead of failing the request.
+            entry = None
+            if self.config.degraded_fallback:
+                fallback_program = self._fallback_program(test)
+            if fallback_program is None:
+                await self._reject(
+                    writer, write_lock, protocol.UNKNOWN_TEST, str(error), request_id
+                )
+                return
         try:
             program_input = self._decode_input(test, message.get("input"))
         except ValueError as error:
@@ -307,9 +336,30 @@ class SelectorServer:
                     request_id,
                 )
                 return
-            job = asyncio.ensure_future(
-                self._execute(key, entry, program_input, message.get("input"))
-            )
+            if not self.breaker.allow():
+                # Executions are tripping; shed load without executing.
+                self.telemetry.count("serve_breaker_open")
+                if self.config.degraded_fallback:
+                    self.telemetry.count("serve_degraded")
+                    await self._send(
+                        writer, write_lock,
+                        self._degraded_response(test, request_id, "breaker_open"),
+                    )
+                else:
+                    await self._reject(
+                        writer, write_lock, protocol.OVERLOADED,
+                        "circuit breaker open: executions suspended; retry later",
+                        request_id,
+                    )
+                return
+            if entry is not None:
+                job = asyncio.ensure_future(
+                    self._execute(key, entry, program_input, message.get("input"))
+                )
+            else:
+                job = asyncio.ensure_future(
+                    self._execute_fallback(key, fallback_program, program_input)
+                )
             self._inflight[key] = job
         else:
             self.telemetry.count("serve_coalesced")
@@ -335,9 +385,12 @@ class SelectorServer:
             "total_time": outcome.total_time,
             "cache_hit": outcome.cache_hit,
             "coalesced": coalesced,
-            "model_version": entry.version,
+            "model_version": entry.version if entry is not None else None,
             "selection_seconds": selection_seconds,
             "execution_seconds": execution_seconds,
+            # Degraded contract: a negative landmark marks an answer served
+            # without the classifier (no-model fallback).
+            "degraded": outcome.landmark_index < 0,
         }
         if message.get("want_output"):
             response["output"] = protocol.encode_payload(outcome.result.output)
@@ -345,6 +398,38 @@ class SelectorServer:
             "serve.request", time.perf_counter() - received
         )
         await self._send(writer, write_lock, response)
+
+    @staticmethod
+    def _fallback_program(test: str) -> Optional[Any]:
+        """The benchmark program behind ``test``, or None when unknown."""
+        from repro.benchmarks_suite import get_benchmark  # lazy: heavy import
+
+        try:
+            return get_benchmark(test).benchmark.program
+        except KeyError:
+            return None
+
+    def _degraded_response(
+        self, test: str, request_id: Any, reason: str
+    ) -> Dict[str, Any]:
+        """A no-execution degraded result frame (breaker-open answer)."""
+        return {
+            "type": "result",
+            "id": request_id,
+            "test": test,
+            "landmark": -1,
+            "time": 0.0,
+            "accuracy": 0.0,
+            "feature_cost": 0.0,
+            "total_time": 0.0,
+            "cache_hit": False,
+            "coalesced": False,
+            "model_version": None,
+            "selection_seconds": 0.0,
+            "execution_seconds": 0.0,
+            "degraded": True,
+            "degraded_reason": reason,
+        }
 
     async def _execute(
         self,
@@ -364,11 +449,15 @@ class SelectorServer:
                 self.feedback,
                 self._feedback_spec(entry.test, input_spec),
             )
+        except Exception:
+            self.breaker.record_failure()
+            raise
         finally:
             # Clearing inside the coroutine (not a done-callback) guarantees
             # the slot is free before any awaiter resumes, so a follow-up
             # identical request becomes a cache recall, never a stale join.
             self._inflight.pop(key, None)
+        self.breaker.record_success()
         self.telemetry.count("serve_executions")
         if self.feedback is not None:
             self.telemetry.count("serve_feedback_records")
@@ -377,6 +466,54 @@ class SelectorServer:
         self.telemetry.record_latency("serve.selection", selection_seconds)
         self.telemetry.record_latency("serve.execution", execution_seconds)
         return outcome, selection_seconds, execution_seconds
+
+    async def _execute_fallback(
+        self, key: Tuple[str, str], program: Any, program_input: Any
+    ) -> Tuple[DeploymentOutcome, float, float]:
+        """Degraded execution: the benchmark's default configuration.
+
+        No classifier, no landmarks -- the answer an undeployed system would
+        give.  Reported with ``landmark: -1`` so clients can tell a degraded
+        answer from a selected one; still coalesced, cached, and
+        breaker-guarded exactly like a model-backed execution.
+        """
+        loop = asyncio.get_running_loop()
+        try:
+            outcome, execution_seconds = await loop.run_in_executor(
+                self._pool, self._run_default, self.runtime, program, program_input
+            )
+        except Exception:
+            self.breaker.record_failure()
+            raise
+        finally:
+            self._inflight.pop(key, None)
+        self.breaker.record_success()
+        self.telemetry.count("serve_executions")
+        self.telemetry.count("serve_degraded")
+        if outcome.cache_hit:
+            self.telemetry.count("serve_cache_hits")
+        self.telemetry.record_latency("serve.execution", execution_seconds)
+        return outcome, 0.0, execution_seconds
+
+    @staticmethod
+    def _run_default(
+        runtime: Runtime, program: Any, program_input: Any
+    ) -> Tuple[DeploymentOutcome, float]:
+        """Pool-thread body of a degraded (default-configuration) run."""
+        maybe_fail("serve.execute", detail=program.name)
+        start = time.perf_counter()
+        configuration = program.default_configuration()
+        result, cache_hit = runtime.run_info(
+            program, configuration, program_input, need_output=True
+        )
+        outcome = DeploymentOutcome(
+            result=result,
+            configuration=configuration,
+            landmark_index=-1,
+            feature_extraction_cost=0.0,
+            cache_hit=cache_hit,
+        )
+        return outcome, time.perf_counter() - start
 
     def _feedback_spec(self, test: str, input_spec: Any) -> Optional[Dict[str, Any]]:
         """The wire input spec, enriched so a trace can rematerialize it.
@@ -416,6 +553,8 @@ class SelectorServer:
         """
         from repro.runtime import default_runtime  # local: avoid cycle at import
 
+        # Fault site: chaos plans fail executions here to trip the breaker.
+        maybe_fail("serve.execute", detail=deployed.program.name)
         start = time.perf_counter()
         configuration, index, cost = deployed.select_configuration(program_input)
         selected = time.perf_counter()
@@ -543,6 +682,7 @@ class SelectorServer:
             "models": self.registry.versions(),
             "inflight": len(self._inflight),
             "max_pending": self.config.max_pending,
+            "breaker": self.breaker.snapshot(),
             "runtime": self.runtime.stats(),
         }
 

@@ -25,6 +25,8 @@ import traceback
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.lang.program import RunResult
+from repro.resilience.faults import FaultError, install_from_env, maybe_fail
+from repro.resilience.retry import RetryPolicy
 from repro.runtime.cache import RunCache
 from repro.runtime.distributed import (
     PROTOCOL_VERSION,
@@ -40,6 +42,11 @@ from repro.runtime.keys import config_key, input_key, program_fingerprint, run_k
 #: this bounds the worker at a few MB while still absorbing tuner-style
 #: repeats within a session.
 WORKER_CACHE_ENTRIES = 50_000
+
+#: Connect retry: a worker racing a restarting coordinator (fixed-port
+#: rebind) or a briefly saturated listen backlog retries with backoff
+#: instead of dying on the first ConnectionRefusedError.
+CONNECT_POLICY = RetryPolicy(max_attempts=5, base_delay=0.1, max_delay=1.0)
 
 
 def _strip_output(result: RunResult) -> RunResult:
@@ -69,6 +76,9 @@ def execute_lease(
       returning ``{"entries": [(run_key, time, accuracy, extra), ...],
       "cache_hits": n}`` in row-major order.
     """
+    # Fault site: an injected raise here unwinds as a worker death (the
+    # chunk requeues on another worker); an injected kill is a hard crash.
+    maybe_fail("worker.execute", detail=kind)
     if kind == "pairs":
         program = context
         results: List[RunResult] = []
@@ -123,7 +133,11 @@ def worker_main(host: str, port: int) -> None:
     The entry point both for spawned workers (``multiprocessing`` target)
     and the ``python -m repro.worker`` CLI.
     """
-    conn = socket.create_connection((host, int(port)))
+    install_from_env()
+    conn = CONNECT_POLICY.run(
+        lambda: socket.create_connection((host, int(port))),
+        retryable=(ConnectionRefusedError, TimeoutError),
+    )
     try:
         conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
     except OSError:  # pragma: no cover - platform-dependent
@@ -165,6 +179,11 @@ def worker_main(host: str, port: int) -> None:
                             {"type": "result", "lease_id": lease_id,
                              "payload": encode_payload(result)},
                         )
+                    except FaultError:
+                        # An injected worker fault models a *crash*, not a
+                        # task error: unwind to the transport handler so the
+                        # coordinator requeues the chunk on another worker.
+                        raise
                     except Exception:
                         send_message(
                             conn,

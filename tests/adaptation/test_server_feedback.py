@@ -14,9 +14,8 @@ from repro.adaptation import FeedbackLog
 from repro.benchmarks_suite import get_benchmark
 from repro.serving import SelectorServer, ServerThread, ServingClient, protocol
 
-# Everything here touches real sockets; see tests/conftest.py.
-pytestmark = pytest.mark.socket_retry
-
+# Everything here touches real sockets; connect races retry inside
+# ServingClient's RetryPolicy (see repro.resilience.retry).
 
 @pytest.fixture()
 def feedback_server(sort_training):

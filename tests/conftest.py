@@ -63,48 +63,9 @@ def binpacking_training():
     return {"variant": variant, "inputs": inputs, "training": training}
 
 
-# --- socket-test flake guard -------------------------------------------------
-#
 # The serving and distributed suites bind real TCP sockets (always on
-# OS-assigned ephemeral ports -- never fixed numbers), but CI runners can
-# still hit transient bind/accept races under load.  Tests marked
-# ``socket_retry`` get exactly one silent rerun on failure; a genuine bug
-# fails twice and still fails the suite.  Retries are summarized at the end
-# of the run so flakes stay visible instead of silently absorbed.
-
-
-def pytest_configure(config):
-    config.addinivalue_line(
-        "markers",
-        "socket_retry: rerun this port-sensitive socket test once on failure",
-    )
-    config._socket_retries = []
-
-
-def pytest_runtest_protocol(item, nextitem):
-    if item.get_closest_marker("socket_retry") is None:
-        return None
-    from _pytest.runner import runtestprotocol
-
-    item.ihook.pytest_runtest_logstart(
-        nodeid=item.nodeid, location=item.location
-    )
-    reports = runtestprotocol(item, nextitem=nextitem, log=False)
-    if any(report.failed for report in reports):
-        item.config._socket_retries.append(item.nodeid)
-        reports = runtestprotocol(item, nextitem=nextitem, log=False)
-    for report in reports:
-        item.ihook.pytest_runtest_logreport(report=report)
-    item.ihook.pytest_runtest_logfinish(
-        nodeid=item.nodeid, location=item.location
-    )
-    return True
-
-
-def pytest_terminal_summary(terminalreporter):
-    retried = getattr(terminalreporter.config, "_socket_retries", [])
-    if retried:
-        terminalreporter.write_line(
-            f"socket_retry: {len(retried)} test(s) needed a rerun: "
-            + ", ".join(retried)
-        )
+# OS-assigned ephemeral ports -- never fixed numbers).  They used to lean
+# on a whole-test rerun hook (``socket_retry``) to absorb transient
+# connect races; those races are now retried where they happen, inside
+# ``repro.resilience.retry.RetryPolicy``-backed connect paths and
+# ``wait_for`` polls, so a test failure always means a real bug.

@@ -1,0 +1,210 @@
+"""End-to-end chaos tests: replay determinism, degraded serving, kill+resume.
+
+These are the acceptance checks of the resilience work (see
+docs/resilience.md): a seeded fault plan replays bit-for-bit; a serving
+stack under execution failures degrades instead of dropping requests; a
+run SIGKILLed mid-measurement resumes to the bit-identical result an
+uninterrupted run produces.
+"""
+
+import dataclasses
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.resilience.chaos import (
+    PRESETS,
+    experiment_digest,
+    preset_plan,
+    run_chaos_experiment,
+    run_chaos_load,
+)
+from repro.resilience.checkpoint import MANIFEST_NAME
+from repro.resilience.faults import PLAN_ENV_VAR, FaultPlan, FaultSpec
+
+
+def tiny_config(**overrides) -> ExperimentConfig:
+    settings = dict(
+        n_inputs=24,
+        n_clusters=3,
+        tuner_generations=2,
+        tuner_population=5,
+        tuning_neighbors=2,
+        max_subsets=12,
+        seed=0,
+    )
+    settings.update(overrides)
+    return ExperimentConfig(**settings)
+
+
+class TestPresets:
+    def test_all_presets_build_valid_plans(self):
+        for name in PRESETS:
+            plan = preset_plan(name, seed=3)
+            assert plan.faults and plan.seed == 3
+            assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(KeyError):
+            preset_plan("no-such-preset")
+
+
+class TestChaosExperiment:
+    def test_torn_writes_replay_identically_and_match_baseline(self, tmp_path):
+        """Same plan, two replays: identical reports, baseline-identical data."""
+        baseline = experiment_digest(run_experiment("sort1", config=tiny_config()))
+        plan = preset_plan("shard-torn-write")
+        reports = []
+        for replay in range(2):
+            config = tiny_config(cache_path=str(tmp_path / f"store-{replay}"))
+            reports.append(
+                run_chaos_experiment(
+                    "sort1", plan, config=config, baseline_digest=baseline
+                )
+            )
+        assert reports[0]["digest"] == reports[1]["digest"]
+        assert reports[0]["compared"] == reports[1]["compared"]
+        for report in reports:
+            assert report["compared"]["invariants"] == {
+                "completed": True,
+                "matches_baseline": True,
+            }
+            assert report["compared"]["result_digest"] == baseline
+            # The plan actually tore a write; recovery was exercised.
+            assert report["diagnostics"]["faults"]["fired"].get(
+                "cache.shard_write"
+            )
+
+    def test_failed_run_reports_completed_false(self, tmp_path):
+        """A plan the runtime cannot absorb yields a failed-invariant report,
+        not an exception out of the harness."""
+        plan = FaultPlan(
+            faults=[FaultSpec(site="runtime.chunk", action="raise", nth=1)]
+        )
+        config = tiny_config(batch_chunk=4, cache_path=str(tmp_path / "store"))
+        report = run_chaos_experiment("sort1", plan, config=config)
+        assert report["compared"]["invariants"]["completed"] is False
+        assert report["compared"]["result_digest"] is None
+        assert "error" in report["diagnostics"]
+
+
+class TestChaosLoad:
+    def test_brownout_replays_identically_with_degraded_service(
+        self, sort_training
+    ):
+        deployed = sort_training["training"].deployed
+        plan = preset_plan("serve-brownout")
+        reports = [
+            run_chaos_load("sort2", deployed, plan, requests=24, unique_inputs=6)
+            for _ in range(2)
+        ]
+        assert reports[0]["digest"] == reports[1]["digest"]
+        assert reports[0]["compared"] == reports[1]["compared"]
+        for report in reports:
+            assert report["compared"]["invariants"] == {
+                "answered_all": True,
+                "breaker_opened": True,
+                "served_degraded": True,
+            }
+
+
+RUNNER_SCRIPT = textwrap.dedent(
+    """
+    import sys
+
+    from repro.experiments.runner import ExperimentConfig, run_experiment
+    from repro.resilience.chaos import experiment_digest
+    from repro.resilience.faults import install_from_env
+
+    install_from_env()
+    mode, store = sys.argv[1], sys.argv[2]
+    config = ExperimentConfig(
+        n_inputs=24,
+        n_clusters=3,
+        tuner_generations=2,
+        tuner_population=5,
+        tuning_neighbors=2,
+        max_subsets=12,
+        seed=0,
+        batch_chunk=4,
+        cache_path=None if mode == "clean" else store,
+        checkpoint=mode != "clean",
+        resume=mode == "resume",
+    )
+    result = run_experiment("sort1", config=config)
+    print("DIGEST", experiment_digest(result))
+    """
+)
+
+
+class TestKillAndResume:
+    """SIGKILL mid-measurement, then --resume to a bit-identical result."""
+
+    def run_script(self, tmp_path, mode, store, env_extra=None):
+        env = dict(os.environ)
+        src = os.path.abspath(
+            os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        )
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [src, env.get("PYTHONPATH")])
+        )
+        env.pop(PLAN_ENV_VAR, None)
+        if env_extra:
+            env.update(env_extra)
+        script = tmp_path / "runner.py"
+        script.write_text(RUNNER_SCRIPT)
+        return subprocess.run(
+            [sys.executable, str(script), mode, store],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=300,
+        )
+
+    def test_sigkill_then_resume_is_bit_identical(self, tmp_path):
+        store = str(tmp_path / "store")
+        kill_plan = FaultPlan(
+            faults=[FaultSpec(site="runtime.chunk", action="kill", nth=6)]
+        )
+
+        killed = self.run_script(
+            tmp_path, "checkpoint", store,
+            env_extra={PLAN_ENV_VAR: kill_plan.to_json()},
+        )
+        assert killed.returncode == -signal.SIGKILL, killed.stderr
+        manifest_path = os.path.join(store, MANIFEST_NAME)
+        assert os.path.exists(manifest_path)
+        with open(manifest_path, encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        assert manifest["interrupted"] is True
+        # The kill fires *after* the chunk is durably recorded.
+        assert len(manifest["completed_chunks"]) == 6
+
+        resumed = self.run_script(tmp_path, "resume", store)
+        assert resumed.returncode == 0, resumed.stderr
+        clean = self.run_script(tmp_path, "clean", str(tmp_path / "unused"))
+        assert clean.returncode == 0, clean.stderr
+
+        digest_of = lambda proc: [  # noqa: E731 - local shorthand
+            line for line in proc.stdout.splitlines() if line.startswith("DIGEST")
+        ][0]
+        assert digest_of(resumed) == digest_of(clean)
+
+        with open(manifest_path, encoding="utf-8") as handle:
+            assert json.load(handle)["interrupted"] is False
+
+    def test_resume_with_other_config_refuses(self, tmp_path):
+        from repro.resilience.checkpoint import CheckpointMismatch
+
+        store = str(tmp_path / "store")
+        config = tiny_config(batch_chunk=4, cache_path=store, checkpoint=True)
+        run_experiment("sort1", config=config)
+        other = dataclasses.replace(config, seed=1, resume=True)
+        with pytest.raises(CheckpointMismatch):
+            run_experiment("sort1", config=other)

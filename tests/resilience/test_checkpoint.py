@@ -1,0 +1,118 @@
+"""Tests for the crash-safe experiment checkpoint manifest."""
+
+import json
+import os
+
+import pytest
+
+from repro.resilience.checkpoint import (
+    MANIFEST_NAME,
+    MANIFEST_VERSION,
+    CheckpointMismatch,
+    ExperimentCheckpoint,
+    config_digest,
+)
+
+
+class FakeRuntime:
+    """Stands in for Runtime: counts save_cache() calls."""
+
+    def __init__(self):
+        self.saves = 0
+
+    def save_cache(self):
+        self.saves += 1
+
+
+def read_manifest(store):
+    with open(os.path.join(str(store), MANIFEST_NAME), encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+class TestConfigDigest:
+    def test_stable_under_key_order(self):
+        assert config_digest({"a": 1, "b": 2}) == config_digest({"b": 2, "a": 1})
+
+    def test_differs_across_payloads(self):
+        assert config_digest({"seed": 0}) != config_digest({"seed": 1})
+
+
+class TestWriting:
+    def test_set_phase_creates_manifest_in_fresh_store(self, tmp_path):
+        store = tmp_path / "store"  # does not exist yet
+        checkpoint = ExperimentCheckpoint(str(store), "digest-a")
+        checkpoint.set_phase("train")
+        manifest = read_manifest(store)
+        assert manifest["version"] == MANIFEST_VERSION
+        assert manifest["config"] == "digest-a"
+        assert manifest["phase"] == "train"
+        assert manifest["interrupted"] is True
+        assert manifest["completed_chunks"] == []
+
+    def test_chunk_completed_saves_cache_then_records(self, tmp_path):
+        checkpoint = ExperimentCheckpoint(str(tmp_path / "store"), "d")
+        runtime = FakeRuntime()
+        for _ in range(3):
+            checkpoint.chunk_completed(runtime)
+        assert runtime.saves == 3
+        manifest = read_manifest(tmp_path / "store")
+        assert manifest["completed_chunks"] == [0, 1, 2]
+        assert manifest["interrupted"] is True
+
+    def test_every_batches_manifest_rewrites(self, tmp_path):
+        checkpoint = ExperimentCheckpoint(str(tmp_path / "store"), "d", every=2)
+        runtime = FakeRuntime()
+        checkpoint.chunk_completed(runtime)  # chunk 0: no manifest yet
+        assert not os.path.exists(checkpoint.manifest_path)
+        checkpoint.chunk_completed(runtime)  # chunk 1: manifest written
+        assert read_manifest(tmp_path / "store")["completed_chunks"] == [0, 1]
+
+    def test_rejects_bad_every(self, tmp_path):
+        with pytest.raises(ValueError):
+            ExperimentCheckpoint(str(tmp_path), "d", every=0)
+
+    def test_finish_clears_interrupted(self, tmp_path):
+        checkpoint = ExperimentCheckpoint(str(tmp_path / "store"), "d")
+        runtime = FakeRuntime()
+        checkpoint.chunk_completed(runtime)
+        checkpoint.finish(runtime)
+        assert read_manifest(tmp_path / "store")["interrupted"] is False
+        assert runtime.saves == 2
+
+
+class TestResume:
+    def test_resume_without_manifest_is_none(self, tmp_path):
+        checkpoint = ExperimentCheckpoint(str(tmp_path / "store"), "d")
+        assert checkpoint.resume() is None
+        assert checkpoint.resumed_from is None
+
+    def test_resume_adopts_matching_manifest(self, tmp_path):
+        store = str(tmp_path / "store")
+        first = ExperimentCheckpoint(store, "same")
+        first.set_phase("train")
+        first.chunk_completed(FakeRuntime())
+        second = ExperimentCheckpoint(store, "same")
+        manifest = second.resume()
+        assert manifest is not None
+        assert manifest["completed_chunks"] == [0]
+        assert second.resumed_from == manifest
+
+    def test_resume_refuses_other_experiments_manifest(self, tmp_path):
+        store = str(tmp_path / "store")
+        ExperimentCheckpoint(store, "one").set_phase("train")
+        with pytest.raises(CheckpointMismatch):
+            ExperimentCheckpoint(store, "two").resume()
+
+    def test_corrupt_manifest_reads_as_missing(self, tmp_path):
+        store = tmp_path / "store"
+        store.mkdir()
+        (store / MANIFEST_NAME).write_text("not json{{")
+        assert ExperimentCheckpoint(str(store), "d").load() is None
+
+    def test_unknown_version_reads_as_missing(self, tmp_path):
+        store = tmp_path / "store"
+        store.mkdir()
+        (store / MANIFEST_NAME).write_text(
+            json.dumps({"version": MANIFEST_VERSION + 1, "config": "d"})
+        )
+        assert ExperimentCheckpoint(str(store), "d").load() is None

@@ -1,0 +1,229 @@
+"""Tests for the deterministic fault-injection harness."""
+
+import json
+import os
+
+import pytest
+
+from repro.resilience.faults import (
+    PLAN_ENV_VAR,
+    FaultError,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    active_injector,
+    fault_scope,
+    fault_site,
+    install,
+    install_from_env,
+    maybe_fail,
+    truncate_bytes,
+)
+
+
+class TestFaultSpec:
+    def test_requires_exactly_one_trigger(self):
+        with pytest.raises(ValueError):
+            FaultSpec(site="s", nth=1, probability=0.5)
+        with pytest.raises(ValueError):
+            FaultSpec(site="s")
+
+    def test_rejects_unknown_action(self):
+        with pytest.raises(ValueError):
+            FaultSpec(site="s", action="explode", nth=1)
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            FaultSpec(site="s", nth=0)
+        with pytest.raises(ValueError):
+            FaultSpec(site="s", probability=1.5)
+
+    def test_record_round_trip(self):
+        spec = FaultSpec(
+            site="cache.shard_write",
+            action="truncate",
+            nth=3,
+            count=2,
+            truncate_bytes=8,
+            match="shards",
+        )
+        assert FaultSpec.from_record(spec.to_record()) == spec
+
+
+class TestFaultPlan:
+    def test_json_round_trip_and_digest_stability(self):
+        plan = FaultPlan(
+            faults=[
+                FaultSpec(site="a", nth=1),
+                FaultSpec(site="b", probability=0.5, count=3),
+            ],
+            seed=7,
+        )
+        restored = FaultPlan.from_json(plan.to_json())
+        assert restored == plan
+        assert restored.digest() == plan.digest()
+
+    def test_digest_differs_across_plans(self):
+        one = FaultPlan(faults=[FaultSpec(site="a", nth=1)])
+        two = FaultPlan(faults=[FaultSpec(site="a", nth=2)])
+        assert one.digest() != two.digest()
+
+
+class TestInjector:
+    def test_nth_trigger_fires_exactly_once(self):
+        injector = FaultInjector(FaultPlan(faults=[FaultSpec(site="s", nth=3)]))
+        hits = [injector.check("s") is not None for _ in range(9)]
+        assert hits == [False, False, True] + [False] * 6
+
+    def test_nth_trigger_with_count_fires_on_multiples(self):
+        injector = FaultInjector(
+            FaultPlan(faults=[FaultSpec(site="s", nth=2, count=2)])
+        )
+        hits = [injector.check("s") is not None for _ in range(8)]
+        assert hits == [False, True, False, True] + [False] * 4
+
+    def test_probability_trigger_is_seed_deterministic(self):
+        plan = FaultPlan(faults=[FaultSpec(site="s", probability=0.3)], seed=11)
+        one = FaultInjector(plan)
+        two = FaultInjector(plan)
+        trace_one = [one.check("s") is not None for _ in range(50)]
+        trace_two = [two.check("s") is not None for _ in range(50)]
+        assert trace_one == trace_two
+        assert any(trace_one) and not all(trace_one)  # p=0.3 actually mixes
+
+    def test_probability_differs_across_seeds(self):
+        def trace(seed):
+            plan = FaultPlan(
+                faults=[FaultSpec(site="s", probability=0.5)], seed=seed
+            )
+            injector = FaultInjector(plan)
+            return [injector.check("s") is not None for _ in range(64)]
+
+        assert trace(0) != trace(1)
+
+    def test_match_filters_on_detail(self):
+        injector = FaultInjector(
+            FaultPlan(faults=[FaultSpec(site="s", nth=1, match="victim")])
+        )
+        assert injector.check("s", detail="other") is None
+        assert injector.check("s", detail="the-victim-file") is not None
+
+    def test_sites_count_independently(self):
+        injector = FaultInjector(
+            FaultPlan(
+                faults=[FaultSpec(site="a", nth=2), FaultSpec(site="b", nth=1)]
+            )
+        )
+        assert injector.check("b") is not None
+        assert injector.check("a") is None
+        assert injector.check("a") is not None
+
+    def test_snapshot_reports_calls_and_fires(self):
+        injector = FaultInjector(FaultPlan(faults=[FaultSpec(site="s", nth=2)]))
+        for _ in range(3):
+            injector.check("s")
+        snapshot = injector.snapshot()
+        assert snapshot["calls"]["s"] == 3
+        assert snapshot["fired"]["s"] == 1
+
+
+class TestInstallation:
+    def test_fault_scope_installs_and_clears(self):
+        plan = FaultPlan(faults=[FaultSpec(site="s", nth=1)])
+        assert active_injector() is None
+        with fault_scope(plan, env=False) as injector:
+            assert active_injector() is injector
+        assert active_injector() is None
+
+    def test_fault_scope_exports_env_for_subprocesses(self):
+        plan = FaultPlan(faults=[FaultSpec(site="s", nth=1)], seed=3)
+        with fault_scope(plan):
+            assert FaultPlan.from_json(os.environ[PLAN_ENV_VAR]) == plan
+        assert PLAN_ENV_VAR not in os.environ
+
+    def test_install_from_env(self, monkeypatch):
+        plan = FaultPlan(faults=[FaultSpec(site="s", nth=1)])
+        monkeypatch.setenv(PLAN_ENV_VAR, plan.to_json())
+        injector = install_from_env()
+        try:
+            assert injector is not None
+            with pytest.raises(FaultError):
+                maybe_fail("s")
+        finally:
+            install(None)
+
+    def test_install_from_env_without_plan_is_none(self, monkeypatch):
+        monkeypatch.delenv(PLAN_ENV_VAR, raising=False)
+        assert install_from_env() is None
+
+    def test_no_injector_is_free_of_effects(self):
+        assert fault_site("anything") is None
+        assert truncate_bytes("anything") is None
+        maybe_fail("anything")  # no-op
+
+
+class TestActions:
+    def test_maybe_fail_raises_fault_error(self):
+        plan = FaultPlan(faults=[FaultSpec(site="s", nth=1)])
+        with fault_scope(plan, env=False):
+            with pytest.raises(FaultError) as excinfo:
+                maybe_fail("s")
+        assert excinfo.value.site == "s"
+        assert isinstance(excinfo.value, OSError)
+
+    def test_truncate_bytes_returns_limit(self):
+        plan = FaultPlan(
+            faults=[
+                FaultSpec(site="w", action="truncate", nth=1, truncate_bytes=8)
+            ]
+        )
+        with fault_scope(plan, env=False):
+            assert truncate_bytes("w") == 8
+            assert truncate_bytes("w") is None  # fired once
+
+    def test_drop_spec_returned_for_caller_action(self):
+        plan = FaultPlan(faults=[FaultSpec(site="d", action="drop", nth=1)])
+        with fault_scope(plan, env=False):
+            spec = fault_site("d")
+        assert spec is not None and spec.action == "drop"
+
+    def test_delay_sleeps_briefly(self):
+        import time
+
+        plan = FaultPlan(
+            faults=[
+                FaultSpec(site="z", action="delay", nth=1, delay_seconds=0.01)
+            ]
+        )
+        with fault_scope(plan, env=False):
+            started = time.perf_counter()
+            fault_site("z")
+            assert time.perf_counter() - started >= 0.009
+
+
+class TestReplayDeterminism:
+    def test_identical_plans_replay_identically(self):
+        """The core chaos property: same plan, same seed, same firing trace."""
+        plan = FaultPlan(
+            faults=[
+                FaultSpec(site="a", probability=0.4),
+                FaultSpec(site="b", nth=3, count=2),
+            ],
+            seed=5,
+        )
+
+        def trace():
+            injector = FaultInjector(plan)
+            return [
+                (site, injector.check(site) is not None)
+                for _ in range(40)
+                for site in ("a", "b")
+            ]
+
+        assert trace() == trace()
+
+    def test_env_round_trip_preserves_plan(self):
+        plan = FaultPlan(
+            faults=[FaultSpec(site="s", probability=0.25, count=4)], seed=9
+        )
+        assert FaultPlan.from_json(json.dumps(json.loads(plan.to_json()))) == plan

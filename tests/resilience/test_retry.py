@@ -1,0 +1,131 @@
+"""Tests for the unified retry policy."""
+
+import pytest
+
+from repro.resilience.retry import RetryError, RetryPolicy
+
+
+class Flaky:
+    """Callable failing a fixed number of times before succeeding."""
+
+    def __init__(self, failures, error=OSError("boom"), value="ok"):
+        self.failures = failures
+        self.error = error
+        self.value = value
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.error
+        return self.value
+
+
+def no_sleep(_seconds):
+    pass
+
+
+class TestValidation:
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1.0)
+
+    def test_rejects_jitter_out_of_range(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=2.0)
+
+
+class TestBackoff:
+    def test_exponential_growth_capped(self):
+        policy = RetryPolicy(
+            base_delay=0.1, multiplier=2.0, max_delay=0.5, jitter=0.0
+        )
+        delays = [policy.backoff_delay(attempt) for attempt in range(1, 6)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_is_deterministic(self):
+        policy = RetryPolicy(base_delay=0.1, jitter=0.5, seed=3)
+        assert policy.backoff_delay(1) == policy.backoff_delay(1)
+        assert policy.backoff_delay(1) != policy.backoff_delay(2)
+
+    def test_jitter_stays_within_fraction(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=1.0, jitter=0.1)
+        for attempt in range(1, 20):
+            assert 0.9 <= policy.backoff_delay(attempt) <= 1.1
+
+
+class TestRun:
+    def test_success_first_try(self):
+        policy = RetryPolicy(max_attempts=3)
+        counters = {}
+        assert policy.run(Flaky(0), counters=counters, sleep=no_sleep) == "ok"
+        assert counters == {"retry_attempts": 1}
+
+    def test_recovers_after_retries(self):
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0)
+        flaky = Flaky(2)
+        counters = {}
+        assert policy.run(flaky, counters=counters, sleep=no_sleep) == "ok"
+        assert flaky.calls == 3
+        assert counters["retry_retries"] == 2
+        assert counters["retry_recoveries"] == 1
+
+    def test_reraises_last_error_on_exhaustion(self):
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0)
+        error = OSError("persistent")
+        counters = {}
+        with pytest.raises(OSError, match="persistent"):
+            policy.run(Flaky(5, error=error), counters=counters, sleep=no_sleep)
+        assert counters["retry_giveups"] == 1
+
+    def test_non_retryable_propagates_immediately(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=0.0)
+        flaky = Flaky(5, error=ValueError("typed"))
+        with pytest.raises(ValueError):
+            policy.run(flaky, retryable=(OSError,), sleep=no_sleep)
+        assert flaky.calls == 1
+
+    def test_retryable_override_narrows_policy_default(self):
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0)
+        flaky = Flaky(1, error=ConnectionRefusedError("no"))
+        assert (
+            policy.run(flaky, retryable=(ConnectionRefusedError,), sleep=no_sleep)
+            == "ok"
+        )
+
+    def test_before_retry_hook_runs_between_attempts(self):
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0)
+        seen = []
+        policy.run(
+            Flaky(2),
+            before_retry=lambda error, attempt: seen.append(attempt),
+            sleep=no_sleep,
+        )
+        assert seen == [1, 2]
+
+    def test_deadline_gives_up_early(self):
+        clock = iter([0.0, 0.0, 100.0]).__next__
+        policy = RetryPolicy(max_attempts=10, base_delay=0.1, deadline=1.0)
+        flaky = Flaky(9)
+        with pytest.raises(OSError):
+            policy.run(flaky, sleep=no_sleep, clock=clock)
+        assert flaky.calls == 2  # second attempt landed past the deadline
+
+
+class TestWaitFor:
+    def test_returns_truthy_result(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=0.0)
+        values = iter([None, None, "ready"])
+        assert policy.wait_for(lambda: next(values), sleep=no_sleep) == "ready"
+
+    def test_raises_retry_error_when_never_true(self):
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0)
+        counters = {}
+        with pytest.raises(RetryError):
+            policy.wait_for(lambda: False, counters=counters, sleep=no_sleep)
+        assert counters["retry_giveups"] == 1
+        assert counters["retry_attempts"] == 3

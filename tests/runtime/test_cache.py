@@ -8,6 +8,7 @@ import numpy as np
 import pytest
 
 from repro.lang.program import RunResult
+from repro.resilience.faults import FaultPlan, FaultSpec, fault_scope
 from repro.runtime import RunCache
 from repro.runtime.cache import _FORMAT_VERSION, _META_NAME, _SHARDS_DIR, _shard_of
 
@@ -294,19 +295,105 @@ class TestShardedStore:
             assert fresh.get(f"first:{i}").time == float(i)
             assert fresh.get(f"second:{i}").time == float(100 + i)
 
-    def test_corrupt_shard_warns_and_degrades(self, tmp_path):
+    def test_torn_shard_write_cold_starts_that_shard(self, tmp_path):
+        """An injected torn write degrades that shard to a cold start.
+
+        The corruption comes from the production writer itself running
+        under a ``cache.shard_write`` truncate fault (the torn write the
+        fsync discipline exists to prevent), not from hand-crafted bytes
+        -- so the bytes readers must tolerate are exactly the bytes a
+        real mid-write kill would leave.
+        """
         store = tmp_path / "cache"
-        keys = populated_store(store)
+        cache = RunCache(persist_path=str(store))
+        keys = [f"prog:{i:04d}" for i in range(64)]
+        for i, key in enumerate(keys):
+            cache.put(key, result(time=float(i)), has_output=False)
         victim_key = keys[0]
-        victim = store / _SHARDS_DIR / f"{_shard_of(victim_key)}.json"
-        victim.write_text("not json{{")
+        victim_shard = _shard_of(victim_key)
+        plan = FaultPlan(
+            faults=[
+                FaultSpec(
+                    site="cache.shard_write",
+                    action="truncate",
+                    nth=1,
+                    match=os.path.join(_SHARDS_DIR, f"{victim_shard}.json"),
+                )
+            ]
+        )
+        with fault_scope(plan, env=False):
+            cache.save()
         fresh = RunCache(persist_path=str(store))
         fresh.load()
         with pytest.warns(UserWarning, match="corrupt"):
             assert fresh.get(victim_key) is None  # that shard is a cold start
         # Other shards are unaffected.
-        survivor = next(k for k in keys if _shard_of(k) != _shard_of(victim_key))
+        survivor = next(k for k in keys if _shard_of(k) != victim_shard)
         assert fresh.get(survivor) is not None
+
+    def test_concurrent_saves_union_survives_torn_write(self, tmp_path):
+        """A torn write in one saver never silently corrupts the union.
+
+        Two caches save to one store; the second save's first shard write
+        is torn (injected truncation).  Entries in untouched shards must
+        read back intact, torn-shard entries must degrade to misses (a
+        miss only costs re-execution), and re-saving the missing entries
+        must repair the store to the full union.
+        """
+        import warnings
+
+        store = tmp_path / "cache"
+        first = RunCache(persist_path=str(store))
+        second = RunCache(persist_path=str(store))
+        expected = {}
+        for i in range(16):
+            expected[f"first:{i}"] = float(i)
+            expected[f"second:{i}"] = float(100 + i)
+            first.put(f"first:{i}", result(time=float(i)), has_output=False)
+            second.put(f"second:{i}", result(time=float(100 + i)), has_output=False)
+        first.save()
+        plan = FaultPlan(
+            faults=[
+                FaultSpec(
+                    site="cache.shard_write",
+                    action="truncate",
+                    nth=1,
+                    count=1,
+                    match=_SHARDS_DIR,
+                )
+            ]
+        )
+        with fault_scope(plan, env=False):
+            second.save()
+
+        fresh = RunCache(persist_path=str(store))
+        fresh.load()
+        missing = []
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")  # the torn shard warns once
+            for key, value in expected.items():
+                entry = fresh.get(key)
+                if entry is None:
+                    missing.append(key)
+                else:
+                    assert entry.time == value  # survivors are bit-intact
+        # Exactly one shard was torn: something is missing, and everything
+        # missing hashes to that one shard.
+        assert missing
+        assert len({_shard_of(key) for key in missing}) == 1
+
+        repair = RunCache(persist_path=str(store))
+        repair.load()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            for key in missing:  # "re-execute" and re-save the lost runs
+                assert repair.get(key) is None
+                repair.put(key, result(time=expected[key]), has_output=False)
+            repair.save()
+        final = RunCache(persist_path=str(store))
+        final.load()
+        for key, value in expected.items():
+            assert final.get(key).time == value
 
     def test_fault_in_survives_tight_lru_cap(self, tmp_path):
         """The looked-up key must win the LRU race against its own shard.

@@ -36,8 +36,8 @@ from repro.runtime.distributed import (
     recv_messages,
 )
 
-# Everything here touches real sockets; see tests/conftest.py.
-pytestmark = pytest.mark.socket_retry
+# Everything here touches real sockets; worker connect races retry inside
+# repro.worker.CONNECT_POLICY (see repro.resilience.retry).
 
 
 # -- module-level task functions (workers import this module to unpickle) --

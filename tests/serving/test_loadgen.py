@@ -5,9 +5,8 @@ import pytest
 from repro.serving import build_trace, run_load
 from repro.serving.server import ServingConfig
 
-# Everything here touches real sockets; see tests/conftest.py.
-pytestmark = pytest.mark.socket_retry
-
+# Everything here touches real sockets; connect races retry inside
+# ServingClient's RetryPolicy (see repro.resilience.retry).
 
 class TestBuildTrace:
     def test_covers_every_unique_index(self):

@@ -25,18 +25,25 @@ from repro.serving import (
     protocol,
 )
 
-# Everything here touches real sockets; see tests/conftest.py.
-pytestmark = pytest.mark.socket_retry
+from repro.resilience.retry import RetryError, RetryPolicy
+
+#: Test-wait policy: same backoff machinery as production retries (flat
+#: 5 ms polls, deadline-bounded) instead of a hand-rolled sleep loop.
+WAIT_POLICY = RetryPolicy(
+    max_attempts=2000, base_delay=0.005, multiplier=1.0, max_delay=0.005, jitter=0.0
+)
 
 
 def wait_until(predicate, timeout=10.0):
     """Poll a predicate until true (or the timeout runs out)."""
-    deadline = time.monotonic() + timeout
-    while time.monotonic() < deadline:
-        if predicate():
-            return True
-        time.sleep(0.005)
-    return predicate()
+    import dataclasses
+
+    try:
+        return bool(
+            dataclasses.replace(WAIT_POLICY, deadline=timeout).wait_for(predicate)
+        )
+    except RetryError:
+        return False
 
 
 class _ZeroClassifier:
